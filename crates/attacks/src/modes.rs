@@ -1,0 +1,145 @@
+//! The three classic attack modes (Qureshi et al., HPCA 2011).
+
+use crate::AttackStream;
+use twl_pcm::LogicalPageAddr;
+use twl_rng::{SimRng, Xoshiro256StarStar};
+use twl_wl_core::WriteOutcome;
+
+/// Repeat-write mode: hammer one fixed address forever.
+///
+/// The classic birthday-paradox attack against table-less randomizers
+/// and instant death for NOWL.
+///
+/// # Examples
+///
+/// ```
+/// use twl_attacks::{AttackStream, RepeatAttack};
+/// use twl_pcm::LogicalPageAddr;
+///
+/// let mut attack = RepeatAttack::new(LogicalPageAddr::new(9));
+/// assert_eq!(attack.next_write(None).index(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatAttack {
+    target: LogicalPageAddr,
+}
+
+impl RepeatAttack {
+    /// Creates the attack against `target`.
+    #[must_use]
+    pub fn new(target: LogicalPageAddr) -> Self {
+        Self { target }
+    }
+}
+
+impl AttackStream for RepeatAttack {
+    fn name(&self) -> &str {
+        "repeat"
+    }
+
+    fn next_write(&mut self, _feedback: Option<&WriteOutcome>) -> LogicalPageAddr {
+        self.target
+    }
+}
+
+/// Random-write mode: uniformly random addresses.
+///
+/// A stress test of raw leveling quality — no scheme can do better than
+/// spread it, no scheme should do worse.
+#[derive(Debug, Clone)]
+pub struct RandomAttack {
+    pages: u64,
+    rng: Xoshiro256StarStar,
+}
+
+impl RandomAttack {
+    /// Creates the attack over `pages` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    #[must_use]
+    pub fn new(pages: u64, seed: u64) -> Self {
+        assert!(pages > 0, "attack needs a non-empty address space");
+        Self {
+            pages,
+            rng: Xoshiro256StarStar::seed_from(seed),
+        }
+    }
+}
+
+impl AttackStream for RandomAttack {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn next_write(&mut self, _feedback: Option<&WriteOutcome>) -> LogicalPageAddr {
+        LogicalPageAddr::new(self.rng.next_bounded(self.pages))
+    }
+}
+
+/// Scan-write mode: consecutive addresses, wrapping at the end.
+///
+/// For TWL this is the worst case (§5.2): consecutive addresses hit each
+/// toss-up pair with `p ≈ 1/2`, which maximizes swap frequency (Case-4
+/// of §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanAttack {
+    pages: u64,
+    next: u64,
+}
+
+impl ScanAttack {
+    /// Creates the attack over `pages` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    #[must_use]
+    pub fn new(pages: u64) -> Self {
+        assert!(pages > 0, "attack needs a non-empty address space");
+        Self { pages, next: 0 }
+    }
+}
+
+impl AttackStream for ScanAttack {
+    fn name(&self) -> &str {
+        "scan"
+    }
+
+    fn next_write(&mut self, _feedback: Option<&WriteOutcome>) -> LogicalPageAddr {
+        let la = LogicalPageAddr::new(self.next);
+        self.next = (self.next + 1) % self.pages;
+        la
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_is_constant() {
+        let mut a = RepeatAttack::new(LogicalPageAddr::new(3));
+        for _ in 0..10 {
+            assert_eq!(a.next_write(None).index(), 3);
+        }
+    }
+
+    #[test]
+    fn random_covers_space() {
+        let mut a = RandomAttack::new(16, 1);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[a.next_write(None).as_usize()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scan_wraps() {
+        let mut a = ScanAttack::new(4);
+        let seq: Vec<u64> = (0..6).map(|_| a.next_write(None).index()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1]);
+    }
+}

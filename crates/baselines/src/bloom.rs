@@ -1,0 +1,237 @@
+//! Bloom-filter substrate for BWL (Yun+, DATE 2012).
+
+use serde::{Deserialize, Serialize};
+use twl_rng::SplitMix64;
+
+/// Hashes `value` with hash function number `i` into `[0, m)`.
+///
+/// Derives independent hash functions from SplitMix64 seeded with the
+/// (value, i) pair — cheap and adequate for Bloom use.
+fn bloom_hash(value: u64, i: u32, m: usize) -> usize {
+    let mut sm = SplitMix64::seed_from(value ^ (u64::from(i) << 56) ^ 0xB10F_17E8);
+    (sm.next_u64() % m as u64) as usize
+}
+
+/// A classic bit-vector Bloom filter: set membership with false
+/// positives, no false negatives.
+///
+/// # Examples
+///
+/// ```
+/// use twl_baselines::BloomFilter;
+///
+/// let mut bf = BloomFilter::new(1024, 3);
+/// bf.insert(42);
+/// assert!(bf.contains(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `m` bits and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    #[must_use]
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0 && k > 0, "bloom filter needs bits and hashes");
+        Self {
+            bits: vec![0; m.div_ceil(64)],
+            m,
+            k,
+        }
+    }
+
+    /// Inserts a value.
+    pub fn insert(&mut self, value: u64) {
+        for i in 0..self.k {
+            let h = bloom_hash(value, i, self.m);
+            self.bits[h / 64] |= 1u64 << (h % 64);
+        }
+    }
+
+    /// Tests membership (may report false positives).
+    #[must_use]
+    pub fn contains(&self, value: u64) -> bool {
+        (0..self.k).all(|i| {
+            let h = bloom_hash(value, i, self.m);
+            self.bits[h / 64] & (1u64 << (h % 64)) != 0
+        })
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Number of bits in the filter.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.m
+    }
+}
+
+/// A counting Bloom filter: approximate per-key counts via the
+/// minimum-counter estimate (conservative-update sketch).
+///
+/// BWL uses this to detect hot pages without a per-page write-number
+/// table: the estimate never undercounts, so a page whose estimate is
+/// below the hot threshold is guaranteed cold.
+///
+/// # Examples
+///
+/// ```
+/// use twl_baselines::CountingBloomFilter;
+///
+/// let mut cbf = CountingBloomFilter::new(4096, 4);
+/// for _ in 0..5 {
+///     cbf.insert(7);
+/// }
+/// assert!(cbf.estimate(7) >= 5);
+/// assert_eq!(cbf.estimate(8), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    counters: Vec<u32>,
+    k: u32,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `m` counters and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    #[must_use]
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(
+            m > 0 && k > 0,
+            "counting bloom filter needs counters and hashes"
+        );
+        Self {
+            counters: vec![0; m],
+            k,
+        }
+    }
+
+    /// Inserts one occurrence of `value`, returning the new estimate.
+    ///
+    /// Uses conservative update: only the minimal counters are bumped,
+    /// which tightens the overcount.
+    pub fn insert(&mut self, value: u64) -> u64 {
+        let m = self.counters.len();
+        let hs: Vec<usize> = (0..self.k).map(|i| bloom_hash(value, i, m)).collect();
+        let min = hs.iter().map(|&h| self.counters[h]).min().unwrap_or(0);
+        for &h in &hs {
+            if self.counters[h] == min {
+                self.counters[h] = self.counters[h].saturating_add(1);
+            }
+        }
+        u64::from(min) + 1
+    }
+
+    /// Estimated occurrence count (never an undercount).
+    #[must_use]
+    pub fn estimate(&self, value: u64) -> u64 {
+        let m = self.counters.len();
+        u64::from(
+            (0..self.k)
+                .map(|i| self.counters[bloom_hash(value, i, m)])
+                .min()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Clears every counter (epoch boundary).
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// Number of counters.
+    #[must_use]
+    pub fn counter_len(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_rng::{SimRng, Xoshiro256StarStar};
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bf = BloomFilter::new(2048, 3);
+        for v in 0..200u64 {
+            bf.insert(v * 7919);
+        }
+        for v in 0..200u64 {
+            assert!(bf.contains(v * 7919));
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_bounded() {
+        let mut bf = BloomFilter::new(8192, 4);
+        for v in 0..500u64 {
+            bf.insert(v);
+        }
+        // Theoretical FP rate ≈ (1 - e^{-kn/m})^k ≈ 0.24% here; allow 2%.
+        let fps = (10_000..20_000u64).filter(|&v| bf.contains(v)).count();
+        assert!(fps < 200, "false positives: {fps}");
+    }
+
+    #[test]
+    fn bloom_clear_resets() {
+        let mut bf = BloomFilter::new(64, 2);
+        bf.insert(1);
+        bf.clear();
+        assert!(!bf.contains(1));
+    }
+
+    #[test]
+    fn cbf_never_undercounts() {
+        let mut cbf = CountingBloomFilter::new(512, 4);
+        let mut rng = Xoshiro256StarStar::seed_from(1);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let v = rng.next_bounded(100);
+            cbf.insert(v);
+            *truth.entry(v).or_insert(0u64) += 1;
+        }
+        for (&v, &c) in &truth {
+            assert!(cbf.estimate(v) >= c, "undercount for {v}");
+        }
+    }
+
+    #[test]
+    fn cbf_overcount_is_modest() {
+        let mut cbf = CountingBloomFilter::new(4096, 4);
+        for v in 0..64u64 {
+            for _ in 0..10 {
+                cbf.insert(v);
+            }
+        }
+        let over: u64 = (0..64u64).map(|v| cbf.estimate(v) - 10).sum();
+        assert!(over < 64, "total overcount {over}");
+    }
+
+    #[test]
+    fn cbf_clear_resets() {
+        let mut cbf = CountingBloomFilter::new(64, 2);
+        cbf.insert(5);
+        cbf.clear();
+        assert_eq!(cbf.estimate(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bloom filter needs bits and hashes")]
+    fn zero_size_panics() {
+        let _ = BloomFilter::new(0, 1);
+    }
+}

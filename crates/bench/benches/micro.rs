@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: the RNGs,
+//! the Feistel permutation, each scheme's write path, and the Bloom
+//! filters. These guard the simulator's own performance (a lifetime run
+//! is ~10⁸ scheme writes), complementing the table/figure harness
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use twl_baselines::{BloomFilterWl, BwlConfig, CountingBloomFilter, SecurityRefresh, SrConfig};
+use twl_core::{TossUpWearLeveling, TwlConfig};
+use twl_pcm::{LogicalPageAddr, PcmConfig, PcmDevice};
+use twl_rng::{FeistelPermutation, FeistelRng, SplitMix64, Xoshiro256StarStar};
+use twl_wl_core::{Nowl, WearLeveler};
+use twl_workloads::{SyntheticWorkload, WorkloadConfig};
+
+const PAGES: u64 = 4096;
+
+fn bench_rngs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    let mut sm = SplitMix64::seed_from(1);
+    group.bench_function("splitmix64", |b| b.iter(|| black_box(sm.next_u64())));
+    let mut xo = Xoshiro256StarStar::seed_from(1);
+    group.bench_function("xoshiro256**", |b| b.iter(|| black_box(xo.next_u64())));
+    let mut fe = FeistelRng::new(1);
+    group.bench_function("feistel_u8", |b| b.iter(|| black_box(fe.next_u8())));
+    let perm = FeistelPermutation::new(12, 7, 4);
+    let mut i = 0u64;
+    group.bench_function("feistel_permute_12b", |b| {
+        b.iter(|| {
+            i = (i + 1) & 0xFFF;
+            black_box(perm.permute(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(1));
+    let mut cbf = CountingBloomFilter::new(16_384, 4);
+    let mut i = 0u64;
+    group.bench_function("cbf_insert", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(cbf.insert(i % PAGES))
+        })
+    });
+    group.bench_function("cbf_estimate", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(cbf.estimate(i % PAGES))
+        })
+    });
+    group.finish();
+}
+
+fn scheme_write_bench(
+    c: &mut Criterion,
+    name: &str,
+    make: impl Fn(&PcmDevice) -> Box<dyn WearLeveler>,
+) {
+    let pcm = PcmConfig::scaled(PAGES, 100_000_000, 1);
+    let mut group = c.benchmark_group("scheme_write");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let device = PcmDevice::new(&pcm);
+                let scheme = make(&device);
+                let workload = SyntheticWorkload::new(&WorkloadConfig {
+                    pages: PAGES,
+                    footprint: PAGES / 2,
+                    zipf_alpha: 0.9,
+                    read_fraction: 0.0,
+                    seed: 3,
+                });
+                (device, scheme, workload)
+            },
+            |(mut device, mut scheme, mut workload)| {
+                for _ in 0..1000 {
+                    let la = workload.next_write_la();
+                    let la = LogicalPageAddr::new(la.index() % scheme.page_count());
+                    scheme.write(la, &mut device).expect("healthy device");
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    scheme_write_bench(c, "nowl_1k", |d| Box::new(Nowl::new(d.page_count())));
+    scheme_write_bench(c, "twl_swp_1k", |d| {
+        Box::new(TossUpWearLeveling::new(
+            &TwlConfig::dac17(),
+            d.endurance_map(),
+        ))
+    });
+    scheme_write_bench(c, "security_refresh_1k", |d| {
+        let pages = d.page_count();
+        Box::new(
+            SecurityRefresh::new(
+                &SrConfig::for_scaled_device(pages, d.config().mean_endurance)
+                    .expect("power-of-two device"),
+                pages,
+            )
+            .expect("valid config"),
+        )
+    });
+    scheme_write_bench(c, "bwl_1k", |d| {
+        Box::new(BloomFilterWl::new(
+            &BwlConfig::for_pages(d.page_count()),
+            d.page_count(),
+        ))
+    });
+}
+
+criterion_group!(benches, bench_rngs, bench_bloom, bench_schemes);
+criterion_main!(benches);

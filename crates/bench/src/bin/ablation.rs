@@ -1,0 +1,154 @@
+//! Ablations of TWL's design choices (DESIGN.md §5), beyond what the
+//! paper reports:
+//!
+//! * pairing strategy: strong-weak vs adjacent vs random;
+//! * toss-up on factory (initial) vs remaining (dynamic) endurance;
+//! * optimized 2-write vs naive 3-write swap-then-write;
+//! * inter-pair swap interval.
+//!
+//! Each variant runs the four Fig. 6 attacks; the table reports the
+//! geometric-mean lifetime and the extra-write ratio. A second table
+//! ablates BWL's band-repair pass (benign lifetime vs attack
+//! robustness).
+//!
+//! Run: `cargo run --release -p twl-bench --bin ablation [-- --pages N ...]`
+
+use twl_attacks::{Attack, AttackKind};
+use twl_baselines::{BloomFilterWl, BwlConfig};
+use twl_bench::{print_table, ExperimentConfig};
+use twl_core::{PairingStrategy, TossUpWearLeveling, TwlConfig, TwlConfigBuilder};
+use twl_lifetime::{run_attack, run_workload, Calibration, SimLimits};
+use twl_pcm::PcmDevice;
+use twl_workloads::ParsecBenchmark;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("TWL design-choice ablations (Gmean lifetime over the four attacks)");
+    println!(
+        "device: {} pages, mean endurance {}, seed {}\n",
+        config.pages, config.mean_endurance, config.seed
+    );
+
+    let variants: Vec<(&str, TwlConfig)> = vec![
+        (
+            "baseline (swp, initial E, 2-write swap)",
+            TwlConfig::dac17(),
+        ),
+        ("adjacent pairing", TwlConfig::dac17_adjacent()),
+        (
+            "random pairing",
+            build(|b| {
+                b.pairing(PairingStrategy::Random { seed: 7 });
+            }),
+        ),
+        (
+            "dynamic (remaining) endurance",
+            build(|b| {
+                b.dynamic_endurance(true);
+            }),
+        ),
+        (
+            "naive 3-write swap",
+            build(|b| {
+                b.optimized_swap(false);
+            }),
+        ),
+        (
+            "inter-pair interval 32",
+            build(|b| {
+                b.inter_pair_swap_interval(32);
+            }),
+        ),
+        (
+            "inter-pair interval 512",
+            build(|b| {
+                b.inter_pair_swap_interval(512);
+            }),
+        ),
+        (
+            "no inter-pair swap",
+            build(|b| {
+                b.inter_pair_swap_interval(u64::MAX);
+            }),
+        ),
+    ];
+
+    let headers = ["variant", "Gmean (yr)", "worst (yr)", "extra writes"];
+    let mut rows = Vec::new();
+    for (name, twl_config) in variants {
+        let mut product = 1.0f64;
+        let mut worst = f64::INFINITY;
+        let mut extra = 0.0f64;
+        for kind in AttackKind::ALL {
+            let mut device = config.device();
+            let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
+            let mut attack = Attack::new(kind, config.pages, config.seed);
+            let report = run_attack(
+                &mut twl,
+                &mut device,
+                &mut attack,
+                &SimLimits::default(),
+                &Calibration::attack_8gbps(),
+            );
+            product *= report.years.max(1e-6);
+            worst = worst.min(report.years);
+            extra += report.extra_write_ratio;
+        }
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.2}", product.powf(0.25)),
+            format!("{:.2}", worst),
+            format!("{:.3}", extra / 4.0),
+        ]);
+    }
+    print_table(&headers, &rows);
+
+    // BWL band-repair ablation: the repair pass is our addition on top
+    // of the DATE'12 design (DESIGN.md §4.5); it roughly doubles benign
+    // lifetime and does not rescue BWL from the inconsistent attack.
+    println!("\nBWL band-repair ablation:");
+    let bench = ParsecBenchmark::Canneal;
+    let headers = ["BWL variant", "benign frac (canneal)", "inconsistent (yr)"];
+    let mut rows = Vec::new();
+    for (name, bwl_config) in [
+        (
+            "with band repair (default)",
+            BwlConfig::for_pages(config.pages),
+        ),
+        ("naive (DATE'12 flow only)", BwlConfig::naive(config.pages)),
+    ] {
+        let mut device = PcmDevice::new(&config.pcm_config());
+        let mut bwl = BloomFilterWl::new(&bwl_config, config.pages);
+        let mut workload = bench.workload(config.pages, config.seed);
+        let benign = run_workload(
+            &mut bwl,
+            &mut device,
+            &mut workload,
+            bench.name(),
+            &SimLimits::default(),
+            &Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps()),
+        );
+        let mut device = PcmDevice::new(&config.pcm_config());
+        let mut bwl = BloomFilterWl::new(&bwl_config, config.pages);
+        let mut attack = Attack::new(AttackKind::Inconsistent, config.pages, config.seed);
+        let attacked = run_attack(
+            &mut bwl,
+            &mut device,
+            &mut attack,
+            &SimLimits::default(),
+            &Calibration::attack_8gbps(),
+        );
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.3}", benign.capacity_fraction),
+            format!("{:.2}", attacked.years),
+        ]);
+    }
+    print_table(&headers, &rows);
+}
+
+fn build(f: impl FnOnce(&mut TwlConfigBuilder)) -> TwlConfig {
+    let mut builder = TwlConfig::builder();
+    f(&mut builder);
+    builder.build().expect("ablation configs are valid")
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Figure 7**: choosing the toss-up interval.
+//!
+//! * (a) swap/write ratio vs toss-up interval, geometric mean over the
+//!   PARSEC workloads (paper: 37.9 % at interval 1, falling ∝ 1/interval,
+//!   ≈2.2 % extra writes at 32);
+//! * (b) lifetime under the scan attack vs toss-up interval (paper:
+//!   crosses the 3-year server-replacement floor near interval 32–64).
+//!
+//! Run: `cargo run --release -p twl-bench --bin fig7_interval [-- --pages N ...]`
+
+use twl_attacks::{Attack, AttackKind};
+use twl_bench::{print_table, ExperimentConfig};
+use twl_core::{TossUpWearLeveling, TwlConfig};
+use twl_lifetime::{run_attack, run_workload, Calibration, SimLimits};
+use twl_pcm::{PcmConfig, PcmDevice};
+use twl_wl_core::WearLeveler;
+use twl_workloads::ParsecBenchmark;
+
+/// Writes driven per benchmark for the swap-ratio measurement.
+const RATIO_WRITES: u64 = 400_000;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Figure 7: toss-up interval selection");
+    println!(
+        "device: {} pages, mean endurance {} (attack runs), seed {}\n",
+        config.pages, config.mean_endurance, config.seed
+    );
+
+    let intervals = [1u64, 2, 4, 8, 16, 32, 64, 128];
+    let headers = [
+        "interval",
+        "swap/write (Gmean)",
+        "extra writes",
+        "scan lifetime (yr)",
+    ];
+    let mut rows = Vec::new();
+    for &interval in &intervals {
+        // (a) Swap/write ratio over PARSEC, on a wear-proof device so
+        // the measurement window is identical across intervals.
+        let ratio_pcm = PcmConfig::scaled(config.pages, 100_000_000, config.seed);
+        let mut log_sum = 0.0f64;
+        let mut extra_sum = 0.0f64;
+        for bench in ParsecBenchmark::ALL {
+            let mut device = PcmDevice::new(&ratio_pcm);
+            let twl_config = TwlConfig::builder()
+                .toss_up_interval(interval)
+                .build()
+                .expect("interval is positive");
+            let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
+            let mut workload = bench.workload(config.pages, config.seed);
+            let limits = SimLimits {
+                max_logical_writes: RATIO_WRITES,
+            };
+            let report = run_workload(
+                &mut twl,
+                &mut device,
+                &mut workload,
+                bench.name(),
+                &limits,
+                &Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps()),
+            );
+            log_sum += report.swap_per_write.max(1e-9).ln();
+            extra_sum += report.extra_write_ratio;
+        }
+        let gmean_ratio = (log_sum / ParsecBenchmark::ALL.len() as f64).exp();
+        let mean_extra = extra_sum / ParsecBenchmark::ALL.len() as f64;
+
+        // (b) Lifetime under the scan attack.
+        let mut device = config.device();
+        let twl_config = TwlConfig::builder()
+            .toss_up_interval(interval)
+            .build()
+            .expect("interval is positive");
+        let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
+        let mut attack = Attack::new(AttackKind::Scan, twl.page_count(), config.seed);
+        let report = run_attack(
+            &mut twl,
+            &mut device,
+            &mut attack,
+            &SimLimits::default(),
+            &Calibration::attack_8gbps(),
+        );
+
+        rows.push(vec![
+            interval.to_string(),
+            format!("{:.3}", gmean_ratio),
+            format!("{:.3}", mean_extra),
+            format!("{:.2}", report.years),
+        ]);
+    }
+    print_table(&headers, &rows);
+    println!("\nminimum server-replacement requirement: 3 years (paper picks interval 32)");
+}

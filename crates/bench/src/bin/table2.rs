@@ -1,0 +1,54 @@
+//! Regenerates **Table 2**: per-PARSEC-benchmark write bandwidth, ideal
+//! lifetime, and lifetime without wear leveling.
+//!
+//! The bandwidths are the paper's measured inputs; the ideal lifetimes
+//! come from the calibrated years conversion (`DESIGN.md` §3) and the
+//! NOWL lifetimes from simulating each calibrated synthetic workload
+//! against an unprotected device until a page dies.
+//!
+//! Run: `cargo run --release -p twl-bench --bin table2 [-- --pages N ...]`
+
+use twl_bench::{print_table, ExperimentConfig};
+use twl_lifetime::{build_scheme, run_workload, Calibration, SchemeKind, SimLimits};
+use twl_workloads::ParsecBenchmark;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Table 2: PARSEC benchmarks (simulated NOWL vs paper)");
+    println!(
+        "device: {} pages, mean endurance {}, seed {}\n",
+        config.pages, config.mean_endurance, config.seed
+    );
+    let headers = [
+        "benchmark",
+        "BW (MB/s)",
+        "ideal (yr)",
+        "paper ideal",
+        "no-WL (yr)",
+        "paper no-WL",
+    ];
+    let mut rows = Vec::new();
+    for bench in ParsecBenchmark::ALL {
+        let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
+        let mut device = config.device();
+        let mut scheme = build_scheme(SchemeKind::Nowl, &device).expect("NOWL always builds");
+        let mut workload = bench.workload(config.pages, config.seed);
+        let report = run_workload(
+            scheme.as_mut(),
+            &mut device,
+            &mut workload,
+            bench.name(),
+            &SimLimits::default(),
+            &calibration,
+        );
+        rows.push(vec![
+            bench.name().to_owned(),
+            format!("{:.0}", bench.write_bandwidth_mbps()),
+            format!("{:.1}", calibration.ideal_years()),
+            format!("{:.1}", bench.ideal_years_paper()),
+            format!("{:.1}", report.years),
+            format!("{:.1}", bench.nowl_years_paper()),
+        ]);
+    }
+    print_table(&headers, &rows);
+}

@@ -1,0 +1,127 @@
+//! Years calibration (DESIGN.md §3).
+
+use serde::{Deserialize, Serialize};
+use twl_pcm::PcmConfig;
+
+/// Seconds per (non-leap) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 86_400.0;
+
+/// The paper's effective write-traffic amplification constant.
+///
+/// Every row of Table 2 and the 6.6-year ideal of §5.2 satisfy
+/// `ideal_years ≈ capacity × endurance / (bandwidth × 1.924)`; we adopt
+/// the same constant so absolute years match the paper (the relative
+/// results do not depend on it).
+pub const IDEAL_CALIBRATION: f64 = 1.924;
+
+/// Converts simulated write counts into paper-comparable years.
+///
+/// The scaled simulation reports a *capacity fraction* — device writes
+/// absorbed before first failure, over the device's total endurance —
+/// which is invariant under the joint page-count/endurance scaling.
+/// Years are then `fraction × ideal_years`, where `ideal_years` is
+/// computed for the nominal 32 GB device at this calibration's write
+/// bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use twl_lifetime::Calibration;
+///
+/// let cal = Calibration::attack_8gbps();
+/// // §5.2: "an ideal lifetime of 6.6 years" at ~8 GB/s.
+/// assert!((cal.ideal_years() - 6.6).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Write bandwidth the lifetime is measured against, in bytes/s.
+    pub write_bandwidth_bytes_per_sec: f64,
+}
+
+impl Calibration {
+    /// Calibration for a write bandwidth in MB/s (Table 2's unit).
+    ///
+    /// Table 2's "MBps" are binary megabytes — with MiB/s (and the
+    /// [`IDEAL_CALIBRATION`] constant) every ideal-lifetime row
+    /// reproduces to within 2 %, while decimal MB/s misses by ~5 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    #[must_use]
+    pub fn for_bandwidth_mbps(mbps: f64) -> Self {
+        assert!(mbps > 0.0, "bandwidth must be positive");
+        Self {
+            write_bandwidth_bytes_per_sec: mbps * 1024.0 * 1024.0,
+        }
+    }
+
+    /// The §5.2 attack setting: a nonstop 8 GiB/s write stream, which
+    /// yields the paper's "ideal lifetime of 6.6 years".
+    #[must_use]
+    pub fn attack_8gbps() -> Self {
+        Self {
+            write_bandwidth_bytes_per_sec: 8.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+
+    /// Ideal lifetime in years at this bandwidth on the nominal device:
+    /// the time to consume every page's endurance.
+    #[must_use]
+    pub fn ideal_years(&self) -> f64 {
+        let nominal = PcmConfig::nominal_dac17();
+        let total_bytes_endurance = nominal.capacity_bytes() as f64 * nominal.mean_endurance as f64;
+        total_bytes_endurance
+            / (self.write_bandwidth_bytes_per_sec * IDEAL_CALIBRATION * SECONDS_PER_YEAR)
+    }
+
+    /// Years corresponding to a capacity fraction (writes survived over
+    /// total endurance).
+    #[must_use]
+    pub fn years(&self, capacity_fraction: f64) -> f64 {
+        capacity_fraction * self.ideal_years()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_ideal_years_reproduce() {
+        // Spot-check Table 2 rows against the calibrated conversion.
+        for (mbps, years) in [
+            (121.0, 446.0),
+            (271.0, 199.0),
+            (1529.0, 35.0),
+            (3309.0, 16.0),
+            (538.0, 100.0),
+        ] {
+            let cal = Calibration::for_bandwidth_mbps(mbps);
+            let rel = (cal.ideal_years() - years).abs() / years;
+            // 2.5 % covers the paper's rounding (16.32 printed as 16).
+            assert!(
+                rel < 0.025,
+                "{mbps} MB/s: {} vs paper {years}",
+                cal.ideal_years()
+            );
+        }
+    }
+
+    #[test]
+    fn attack_ideal_is_6_6_years() {
+        let cal = Calibration::attack_8gbps();
+        assert!(
+            (cal.ideal_years() - 6.6).abs() < 0.2,
+            "{}",
+            cal.ideal_years()
+        );
+    }
+
+    #[test]
+    fn years_scale_linearly_with_fraction() {
+        let cal = Calibration::attack_8gbps();
+        assert!((cal.years(0.5) - cal.ideal_years() / 2.0).abs() < 1e-9);
+        assert_eq!(cal.years(0.0), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Lifetime simulation for the `tossup-wl` workspace.
+//!
+//! Drives attacks ([`twl_attacks`]) or PARSEC-like workloads
+//! ([`twl_workloads`]) against a [`twl_pcm::PcmDevice`] protected by any
+//! [`twl_wl_core::WearLeveler`] until the first page wears out — the
+//! paper's lifetime methodology (§5.1) — and converts the result into
+//! calibrated years comparable with the paper's figures.
+//!
+//! * [`SchemeKind`] / [`build_scheme`] — a factory over every scheme in
+//!   the workspace, so sweeps can be written as data.
+//! * [`run_attack`] / [`run_workload`] — the simulation loops.
+//! * [`LifetimeReport`] — writes survived, fraction of ideal capacity,
+//!   calibrated years.
+//! * [`Calibration`] — the years conversion (see `DESIGN.md` §3): the
+//!   scaled device's *capacity fraction* is scale-invariant, and years
+//!   are `fraction × ideal_years(bandwidth)` on the paper's nominal
+//!   32 GB / 10⁸-endurance device, with the paper's own ≈1.92× traffic
+//!   constant folded in so Table 2's ideal column reproduces exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use twl_lifetime::{build_scheme, run_attack, Calibration, SchemeKind, SimLimits};
+//! use twl_attacks::{Attack, AttackKind};
+//! use twl_pcm::{PcmConfig, PcmDevice};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+//! let pcm = PcmConfig::builder().pages(256).mean_endurance(2_000).seed(1).build()?;
+//! let mut device = PcmDevice::new(&pcm);
+//! let mut scheme = build_scheme(SchemeKind::TwlSwp, &device)?;
+//! let mut attack = Attack::new(AttackKind::Repeat, 256, 0);
+//! let report = run_attack(
+//!     scheme.as_mut(), &mut device, &mut attack,
+//!     &SimLimits::default(), &Calibration::attack_8gbps(),
+//! );
+//! assert!(report.capacity_fraction > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod calibrate;
+mod report;
+mod scheme;
+mod sim;
+mod sweep;
+
+pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
+pub use report::LifetimeReport;
+pub use scheme::{build_scheme, SchemeKind};
+pub use sim::{run_attack, run_workload, SimLimits};
+pub use sweep::{attack_matrix, gmean_years, workload_matrix};

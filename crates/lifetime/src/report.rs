@@ -1,0 +1,75 @@
+//! Lifetime simulation results.
+
+use serde::{Deserialize, Serialize};
+use twl_pcm::PhysicalPageAddr;
+
+/// Result of one lifetime run.
+///
+/// # Examples
+///
+/// ```
+/// use twl_lifetime::LifetimeReport;
+///
+/// fn print(report: &LifetimeReport) {
+///     println!("{:.2} years ({:.1}% of ideal)", report.years,
+///              100.0 * report.capacity_fraction);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeReport {
+    /// Scheme under test.
+    pub scheme: String,
+    /// Workload or attack that drove the run.
+    pub workload: String,
+    /// Logical writes serviced before the first page failure.
+    pub logical_writes: u64,
+    /// Device page writes absorbed (includes migration overhead).
+    pub device_writes: u64,
+    /// The page whose wear-out ended the run, if the run completed.
+    pub failed_page: Option<PhysicalPageAddr>,
+    /// Whether a page actually wore out (`false` = the write budget ran
+    /// out first and the numbers are a lower bound).
+    pub completed: bool,
+    /// `device_writes / total device endurance` — the scale-invariant
+    /// lifetime measure (1.0 = ideal).
+    pub capacity_fraction: f64,
+    /// Calibrated lifetime in years on the nominal device.
+    pub years: f64,
+    /// Swap operations per logical write (Fig. 7a's metric).
+    pub swap_per_write: f64,
+    /// Overhead device writes per logical write.
+    pub extra_write_ratio: f64,
+    /// Gini coefficient of final wear (0 = perfectly level).
+    pub wear_gini: f64,
+}
+
+impl LifetimeReport {
+    /// Lifetime normalized to ideal (Fig. 8's y-axis).
+    #[must_use]
+    pub fn normalized_lifetime(&self) -> f64 {
+        self.capacity_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_lifetime_is_capacity_fraction() {
+        let report = LifetimeReport {
+            scheme: "TWL_swp".into(),
+            workload: "scan".into(),
+            logical_writes: 100,
+            device_writes: 110,
+            failed_page: Some(PhysicalPageAddr::new(3)),
+            completed: true,
+            capacity_fraction: 0.62,
+            years: 4.1,
+            swap_per_write: 0.015,
+            extra_write_ratio: 0.022,
+            wear_gini: 0.1,
+        };
+        assert_eq!(report.normalized_lifetime(), 0.62);
+    }
+}

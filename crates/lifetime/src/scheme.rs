@@ -1,0 +1,136 @@
+//! Scheme factory: every wear leveler in the workspace, as data.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use twl_baselines::{
+    BloomFilterWl, BwlConfig, SecurityRefresh, SrConfig, StartGap, StartGapConfig,
+    WearRateLeveling, WrlConfig,
+};
+use twl_core::{TossUpWearLeveling, TwlConfig};
+use twl_pcm::PcmDevice;
+use twl_wl_core::{Nowl, WearLeveler};
+
+/// Every scheme the workspace can instantiate, in the paper's naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SchemeKind {
+    /// No wear leveling.
+    Nowl,
+    /// Security Refresh (two-level).
+    Sr,
+    /// Bloom-filter wear leveling.
+    Bwl,
+    /// Wear-rate leveling.
+    Wrl,
+    /// Start-Gap.
+    StartGap,
+    /// Toss-up WL with strong-weak pairing (the paper's `TWL_swp`).
+    TwlSwp,
+    /// Toss-up WL with adjacent pairing (the paper's `TWL_ap`).
+    TwlAp,
+}
+
+impl SchemeKind {
+    /// The schemes of Fig. 6, in its legend order.
+    pub const FIG6: [SchemeKind; 5] = [Self::Bwl, Self::Sr, Self::TwlAp, Self::TwlSwp, Self::Nowl];
+
+    /// The schemes of Figs. 8–9 (TWL means `TWL_swp`).
+    pub const FIG8: [SchemeKind; 4] = [Self::Bwl, Self::Sr, Self::TwlSwp, Self::Nowl];
+
+    /// Display label as used in the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Nowl => "NOWL",
+            Self::Sr => "SR",
+            Self::Bwl => "BWL",
+            Self::Wrl => "WRL",
+            Self::StartGap => "StartGap",
+            Self::TwlSwp => "TWL_swp",
+            Self::TwlAp => "TWL_ap",
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds a scheme with its paper-default configuration for `device`.
+///
+/// # Errors
+///
+/// Returns an error if the device geometry is incompatible (e.g. a
+/// non-power-of-two page count for Security Refresh).
+pub fn build_scheme(
+    kind: SchemeKind,
+    device: &PcmDevice,
+) -> Result<Box<dyn WearLeveler>, Box<dyn Error + Send + Sync>> {
+    let pages = device.page_count();
+    Ok(match kind {
+        SchemeKind::Nowl => Box::new(Nowl::new(pages)),
+        SchemeKind::Sr => Box::new(SecurityRefresh::new(
+            &SrConfig::for_scaled_device(pages, device.config().mean_endurance)?,
+            pages,
+        )?),
+        SchemeKind::Bwl => Box::new(BloomFilterWl::new(&BwlConfig::for_pages(pages), pages)),
+        SchemeKind::Wrl => Box::new(WearRateLeveling::new(&WrlConfig::for_pages(pages), pages)),
+        SchemeKind::StartGap => Box::new(StartGap::new(&StartGapConfig::default(), pages)),
+        SchemeKind::TwlSwp => Box::new(TossUpWearLeveling::new(
+            &TwlConfig::dac17(),
+            device.endurance_map(),
+        )),
+        SchemeKind::TwlAp => Box::new(TossUpWearLeveling::new(
+            &TwlConfig::dac17_adjacent(),
+            device.endurance_map(),
+        )),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_pcm::PcmConfig;
+
+    #[test]
+    fn every_kind_builds_on_default_device() {
+        let pcm = PcmConfig::builder()
+            .pages(256)
+            .mean_endurance(10_000)
+            .build()
+            .unwrap();
+        let device = PcmDevice::new(&pcm);
+        for kind in [
+            SchemeKind::Nowl,
+            SchemeKind::Sr,
+            SchemeKind::Bwl,
+            SchemeKind::Wrl,
+            SchemeKind::StartGap,
+            SchemeKind::TwlSwp,
+            SchemeKind::TwlAp,
+        ] {
+            let scheme = build_scheme(kind, &device).unwrap();
+            assert_eq!(scheme.name(), kind.label(), "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn sr_rejects_non_power_of_two() {
+        let pcm = PcmConfig::builder()
+            .pages(192)
+            .mean_endurance(10_000)
+            .build()
+            .unwrap();
+        let device = PcmDevice::new(&pcm);
+        assert!(build_scheme(SchemeKind::Sr, &device).is_err());
+    }
+
+    #[test]
+    fn figure_sets_are_consistent() {
+        assert_eq!(SchemeKind::FIG6.len(), 5);
+        assert_eq!(SchemeKind::FIG8.len(), 4);
+    }
+}

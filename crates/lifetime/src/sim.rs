@@ -1,0 +1,243 @@
+//! The lifetime simulation loops.
+
+use crate::{Calibration, LifetimeReport};
+use serde::{Deserialize, Serialize};
+use twl_attacks::AttackStream;
+use twl_pcm::{PcmDevice, PcmError};
+use twl_wl_core::{WearLeveler, WriteOutcome};
+use twl_workloads::SyntheticWorkload;
+
+/// Safety limits for a lifetime run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimLimits {
+    /// Maximum logical writes before giving up (a run that has not
+    /// killed a page by then reports `completed = false`).
+    pub max_logical_writes: u64,
+}
+
+impl Default for SimLimits {
+    /// 2 billion logical writes — more than the total endurance of any
+    /// recommended scaled device, so defaults never truncate.
+    fn default() -> Self {
+        Self {
+            max_logical_writes: 2_000_000_000,
+        }
+    }
+}
+
+/// Drives `attack` against `scheme` on `device` until a page wears out.
+///
+/// The attack receives each write's [`WriteOutcome`] as feedback — that
+/// is the timing side channel of §3.2. The returned report carries the
+/// scale-invariant capacity fraction and calibrated years.
+///
+/// The attack must generate addresses within `scheme.page_count()`.
+pub fn run_attack(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    attack: &mut dyn AttackStream,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    let workload_name = attack.name().to_owned();
+    let mut feedback: Option<WriteOutcome> = None;
+    let mut logical_writes = 0u64;
+    let mut failure = None;
+    while logical_writes < limits.max_logical_writes {
+        let la = attack.next_write(feedback.as_ref());
+        match scheme.write(la, device) {
+            Ok(out) => {
+                logical_writes += 1;
+                feedback = Some(out);
+            }
+            Err(PcmError::PageWornOut { addr, .. }) => {
+                failure = Some(addr);
+                break;
+            }
+            Err(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
+        }
+    }
+    finish(
+        scheme,
+        device,
+        workload_name,
+        logical_writes,
+        failure,
+        calibration,
+    )
+}
+
+/// Drives a synthetic workload's write stream against `scheme` until a
+/// page wears out (reads are skipped — they neither wear the device nor
+/// influence wear-leveling state).
+///
+/// The workload must generate addresses within `scheme.page_count()`.
+pub fn run_workload(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    workload: &mut SyntheticWorkload,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    let mut logical_writes = 0u64;
+    let mut failure = None;
+    while logical_writes < limits.max_logical_writes {
+        let la = workload.next_write_la();
+        match scheme.write(la, device) {
+            Ok(_) => logical_writes += 1,
+            Err(PcmError::PageWornOut { addr, .. }) => {
+                failure = Some(addr);
+                break;
+            }
+            Err(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
+        }
+    }
+    finish(
+        scheme,
+        device,
+        workload_name.to_owned(),
+        logical_writes,
+        failure,
+        calibration,
+    )
+}
+
+fn finish(
+    scheme: &dyn WearLeveler,
+    device: &PcmDevice,
+    workload: String,
+    logical_writes: u64,
+    failure: Option<twl_pcm::PhysicalPageAddr>,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    let stats = scheme.stats();
+    let total_endurance = device.endurance_map().total() as f64;
+    let capacity_fraction = device.total_writes() as f64 / total_endurance;
+    LifetimeReport {
+        scheme: scheme.name().to_owned(),
+        workload,
+        logical_writes,
+        device_writes: device.total_writes(),
+        failed_page: failure,
+        completed: failure.is_some(),
+        capacity_fraction,
+        years: calibration.years(capacity_fraction),
+        swap_per_write: stats.swap_per_write(),
+        extra_write_ratio: stats.extra_write_ratio(),
+        wear_gini: device.wear_stats().wear_gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_scheme, SchemeKind};
+    use twl_attacks::{Attack, AttackKind};
+    use twl_pcm::PcmConfig;
+    use twl_workloads::ParsecBenchmark;
+
+    fn device(pages: u64, endurance: u64) -> PcmDevice {
+        let pcm = PcmConfig::builder()
+            .pages(pages)
+            .mean_endurance(endurance)
+            .seed(13)
+            .build()
+            .unwrap();
+        PcmDevice::new(&pcm)
+    }
+
+    #[test]
+    fn nowl_under_repeat_dies_after_one_page() {
+        let mut dev = device(256, 1_000);
+        let mut scheme = build_scheme(SchemeKind::Nowl, &dev).unwrap();
+        let mut attack = Attack::new(AttackKind::Repeat, 256, 0);
+        let report = run_attack(
+            scheme.as_mut(),
+            &mut dev,
+            &mut attack,
+            &SimLimits::default(),
+            &Calibration::attack_8gbps(),
+        );
+        assert!(report.completed);
+        // One page's endurance out of 256 pages' worth: fraction ≈ 1/256.
+        assert!(
+            report.capacity_fraction < 0.01,
+            "{}",
+            report.capacity_fraction
+        );
+        assert_eq!(report.scheme, "NOWL");
+        assert_eq!(report.workload, "repeat");
+    }
+
+    #[test]
+    fn twl_outlives_nowl_under_every_attack() {
+        for kind in AttackKind::ALL {
+            let mut dev_a = device(128, 2_000);
+            let mut nowl = build_scheme(SchemeKind::Nowl, &dev_a).unwrap();
+            let mut attack = Attack::new(kind, 128, 1);
+            let nowl_report = run_attack(
+                nowl.as_mut(),
+                &mut dev_a,
+                &mut attack,
+                &SimLimits::default(),
+                &Calibration::attack_8gbps(),
+            );
+
+            let mut dev_b = device(128, 2_000);
+            let mut twl = build_scheme(SchemeKind::TwlSwp, &dev_b).unwrap();
+            let mut attack = Attack::new(kind, 128, 1);
+            let twl_report = run_attack(
+                twl.as_mut(),
+                &mut dev_b,
+                &mut attack,
+                &SimLimits::default(),
+                &Calibration::attack_8gbps(),
+            );
+            assert!(
+                twl_report.capacity_fraction > nowl_report.capacity_fraction,
+                "{kind}: TWL {} vs NOWL {}",
+                twl_report.capacity_fraction,
+                nowl_report.capacity_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn limits_truncate_and_flag_incomplete() {
+        let mut dev = device(128, 1_000_000);
+        let mut scheme = build_scheme(SchemeKind::TwlSwp, &dev).unwrap();
+        let mut attack = Attack::new(AttackKind::Random, 128, 2);
+        let limits = SimLimits {
+            max_logical_writes: 5_000,
+        };
+        let report = run_attack(
+            scheme.as_mut(),
+            &mut dev,
+            &mut attack,
+            &limits,
+            &Calibration::attack_8gbps(),
+        );
+        assert!(!report.completed);
+        assert_eq!(report.logical_writes, 5_000);
+    }
+
+    #[test]
+    fn workload_run_reports_benchmark_name() {
+        let mut dev = device(256, 2_000);
+        let mut scheme = build_scheme(SchemeKind::Nowl, &dev).unwrap();
+        let bench = ParsecBenchmark::Canneal;
+        let mut workload = bench.workload(256, 3);
+        let report = run_workload(
+            scheme.as_mut(),
+            &mut dev,
+            &mut workload,
+            bench.name(),
+            &SimLimits::default(),
+            &Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps()),
+        );
+        assert!(report.completed);
+        assert_eq!(report.workload, "canneal");
+        assert!(report.years > 0.0);
+    }
+}

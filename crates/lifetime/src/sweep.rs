@@ -1,0 +1,188 @@
+//! Experiment matrices: run scheme × attack / scheme × workload grids
+//! in one call.
+//!
+//! The figure-regenerating binaries in `twl-bench` are thin wrappers
+//! over these helpers; library users get the same sweeps as data.
+
+use crate::{
+    build_scheme, run_attack, run_workload, Calibration, LifetimeReport, SchemeKind, SimLimits,
+};
+use twl_attacks::{Attack, AttackKind};
+use twl_pcm::{PcmConfig, PcmDevice};
+use twl_workloads::ParsecBenchmark;
+
+/// Runs every scheme in `schemes` against every attack in `attacks` on
+/// a fresh device drawn from `pcm`, returning reports in
+/// `schemes`-major order (Fig. 6's grid).
+///
+/// # Panics
+///
+/// Panics if a scheme cannot be built for the device geometry (e.g.
+/// Security Refresh on a non-power-of-two page count).
+///
+/// # Examples
+///
+/// ```
+/// use twl_lifetime::{attack_matrix, SchemeKind, SimLimits};
+/// use twl_attacks::AttackKind;
+/// use twl_pcm::PcmConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pcm = PcmConfig::builder().pages(128).mean_endurance(2_000).seed(1).build()?;
+/// let reports = attack_matrix(
+///     &pcm,
+///     &[SchemeKind::Nowl, SchemeKind::TwlSwp],
+///     &[AttackKind::Repeat],
+///     &SimLimits::default(),
+/// );
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports[1].years > reports[0].years);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn attack_matrix(
+    pcm: &PcmConfig,
+    schemes: &[SchemeKind],
+    attacks: &[AttackKind],
+    limits: &SimLimits,
+) -> Vec<LifetimeReport> {
+    let calibration = Calibration::attack_8gbps();
+    let cells: Vec<(SchemeKind, AttackKind)> = schemes
+        .iter()
+        .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
+        .collect();
+    run_cells(&cells, |&(kind, attack_kind)| {
+        let mut device = PcmDevice::new(pcm);
+        let mut scheme = build_scheme(kind, &device)
+            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+        let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+        run_attack(
+            scheme.as_mut(),
+            &mut device,
+            &mut attack,
+            limits,
+            &calibration,
+        )
+    })
+}
+
+/// Runs every cell on its own scoped thread, preserving order. Each
+/// cell owns its device and scheme, so the parallelism is trivially
+/// safe; the grid sizes here (tens of cells) match a workstation's
+/// cores well.
+fn run_cells<C: Sync>(
+    cells: &[C],
+    run: impl Fn(&C) -> LifetimeReport + Sync,
+) -> Vec<LifetimeReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cells.iter().map(|cell| scope.spawn(|| run(cell))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep cell panicked"))
+            .collect()
+    })
+}
+
+/// Runs every scheme against every PARSEC benchmark workload, each with
+/// its own bandwidth calibration (Fig. 8's grid), in `schemes`-major
+/// order.
+///
+/// # Panics
+///
+/// Panics if a scheme cannot be built for the device geometry.
+#[must_use]
+pub fn workload_matrix(
+    pcm: &PcmConfig,
+    schemes: &[SchemeKind],
+    benchmarks: &[ParsecBenchmark],
+    limits: &SimLimits,
+) -> Vec<LifetimeReport> {
+    let cells: Vec<(SchemeKind, ParsecBenchmark)> = schemes
+        .iter()
+        .flat_map(|&s| benchmarks.iter().map(move |&b| (s, b)))
+        .collect();
+    run_cells(&cells, |&(kind, bench)| {
+        let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
+        let mut device = PcmDevice::new(pcm);
+        let mut scheme = build_scheme(kind, &device)
+            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+        let mut workload = bench.workload(pcm.pages, pcm.seed);
+        run_workload(
+            scheme.as_mut(),
+            &mut device,
+            &mut workload,
+            bench.name(),
+            limits,
+            &calibration,
+        )
+    })
+}
+
+/// Geometric mean of the reports' lifetimes in years (the paper's
+/// `Gmean` column), treating non-positive entries as a tiny epsilon.
+#[must_use]
+pub fn gmean_years(reports: &[LifetimeReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = reports.iter().map(|r| r.years.max(1e-9).ln()).sum();
+    (log_sum / reports.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcm() -> PcmConfig {
+        PcmConfig::builder()
+            .pages(128)
+            .mean_endurance(2_000)
+            .seed(8)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn attack_matrix_shape_and_order() {
+        let reports = attack_matrix(
+            &pcm(),
+            &[SchemeKind::Nowl, SchemeKind::TwlSwp],
+            &[AttackKind::Repeat, AttackKind::Scan],
+            &SimLimits::default(),
+        );
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].scheme, "NOWL");
+        assert_eq!(reports[0].workload, "repeat");
+        assert_eq!(reports[1].workload, "scan");
+        assert_eq!(reports[2].scheme, "TWL_swp");
+    }
+
+    #[test]
+    fn workload_matrix_uses_per_benchmark_calibration() {
+        let reports = workload_matrix(
+            &pcm(),
+            &[SchemeKind::Nowl],
+            &[ParsecBenchmark::Vips, ParsecBenchmark::Streamcluster],
+            &SimLimits::default(),
+        );
+        assert_eq!(reports.len(), 2);
+        // Same device, same scheme: capacity fractions are comparable,
+        // but streamcluster's years dwarf vips' because its bandwidth
+        // is ~275x lower.
+        assert!(reports[1].years > 20.0 * reports[0].years);
+    }
+
+    #[test]
+    fn gmean_handles_zeroes() {
+        let reports = attack_matrix(
+            &pcm(),
+            &[SchemeKind::Nowl],
+            &[AttackKind::Repeat],
+            &SimLimits::default(),
+        );
+        let g = gmean_years(&reports);
+        assert!(g >= 0.0 && g.is_finite());
+        assert_eq!(gmean_years(&[]), 0.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! The PCM device: wear accounting and fail-stop pages.
+
+use crate::{EnduranceMap, PcmConfig, PcmError, PhysicalPageAddr, WearStats};
+use serde::{Deserialize, Serialize};
+
+/// A serializable checkpoint of a device's full wear state.
+///
+/// Long lifetime simulations (10^8+ writes) can persist progress and
+/// resume later; a snapshot restores bit-identical device behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use twl_pcm::{PcmConfig, PcmDevice, PhysicalPageAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = PcmConfig::builder().pages(8).mean_endurance(100).build()?;
+/// let mut device = PcmDevice::new(&config);
+/// device.write_page(PhysicalPageAddr::new(1))?;
+/// let snapshot = device.snapshot();
+/// let restored = PcmDevice::restore(snapshot)?;
+/// assert_eq!(restored.wear(PhysicalPageAddr::new(1)), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    config: PcmConfig,
+    endurance: EnduranceMap,
+    wear: Vec<u64>,
+    total_writes: u64,
+    first_failure: Option<PhysicalPageAddr>,
+}
+
+/// A simulated PCM array with per-page wear accounting.
+///
+/// Every write to a physical page increments that page's wear counter;
+/// when the counter reaches the page's (process-variation-drawn)
+/// endurance, the write fails with [`PcmError::PageWornOut`] and the page
+/// is permanently dead. The lifetime simulator treats the first such
+/// failure as end-of-life, matching the paper's methodology ("until a
+/// PCM page wears out", §5.1).
+///
+/// # Examples
+///
+/// ```
+/// use twl_pcm::{PcmConfig, PcmDevice, PhysicalPageAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = PcmConfig::builder().pages(16).mean_endurance(100).seed(1).build()?;
+/// let mut device = PcmDevice::new(&config);
+/// let pa = PhysicalPageAddr::new(0);
+/// device.write_page(pa)?;
+/// assert_eq!(device.remaining(pa), device.endurance(pa) - 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcmDevice {
+    config: PcmConfig,
+    endurance: EnduranceMap,
+    wear: Vec<u64>,
+    total_writes: u64,
+    first_failure: Option<PhysicalPageAddr>,
+}
+
+impl PcmDevice {
+    /// Creates a device, drawing the endurance map from `config`.
+    #[must_use]
+    pub fn new(config: &PcmConfig) -> Self {
+        let endurance = EnduranceMap::generate(config);
+        Self::with_endurance(config, endurance)
+    }
+
+    /// Creates a device with an explicit endurance map (tests, custom PV
+    /// models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's length differs from `config.pages`.
+    #[must_use]
+    pub fn with_endurance(config: &PcmConfig, endurance: EnduranceMap) -> Self {
+        assert_eq!(
+            endurance.len() as u64,
+            config.pages,
+            "endurance map size must match page count"
+        );
+        Self {
+            config: config.clone(),
+            wear: vec![0; endurance.len()],
+            endurance,
+            total_writes: 0,
+            first_failure: None,
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &PcmConfig {
+        &self.config
+    }
+
+    /// The process-variation endurance map (the manufacturer-tested ET).
+    #[must_use]
+    pub fn endurance_map(&self) -> &EnduranceMap {
+        &self.endurance
+    }
+
+    /// Number of pages.
+    #[must_use]
+    pub fn page_count(&self) -> u64 {
+        self.config.pages
+    }
+
+    /// Validates a physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::AddrOutOfRange`] if `addr` is past the end of
+    /// the device.
+    pub fn check_addr(&self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
+        if addr.index() < self.config.pages {
+            Ok(())
+        } else {
+            Err(PcmError::AddrOutOfRange {
+                index: addr.index(),
+                pages: self.config.pages,
+            })
+        }
+    }
+
+    /// Writes one page, accounting wear.
+    ///
+    /// # Errors
+    ///
+    /// * [`PcmError::AddrOutOfRange`] for an invalid address.
+    /// * [`PcmError::PageWornOut`] when the page's endurance is already
+    ///   exhausted. The first failure is latched and reported by
+    ///   [`PcmDevice::first_failure`].
+    pub fn write_page(&mut self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
+        self.check_addr(addr)?;
+        let i = addr.as_usize();
+        if self.wear[i] >= self.endurance.endurance(addr) {
+            if self.first_failure.is_none() {
+                self.first_failure = Some(addr);
+            }
+            return Err(PcmError::PageWornOut {
+                addr,
+                writes: self.wear[i],
+            });
+        }
+        self.wear[i] += 1;
+        self.total_writes += 1;
+        Ok(())
+    }
+
+    /// Reads one page. Reads do not wear PCM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::AddrOutOfRange`] for an invalid address.
+    pub fn read_page(&self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
+        self.check_addr(addr)
+    }
+
+    /// Wear (writes absorbed so far) of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn wear(&self, addr: PhysicalPageAddr) -> u64 {
+        self.wear[addr.as_usize()]
+    }
+
+    /// Tested endurance of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn endurance(&self, addr: PhysicalPageAddr) -> u64 {
+        self.endurance.endurance(addr)
+    }
+
+    /// Remaining writes before the page dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn remaining(&self, addr: PhysicalPageAddr) -> u64 {
+        self.endurance(addr).saturating_sub(self.wear(addr))
+    }
+
+    /// Whether the page has exhausted its endurance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[must_use]
+    pub fn is_worn_out(&self, addr: PhysicalPageAddr) -> bool {
+        self.remaining(addr) == 0
+    }
+
+    /// Total successful page writes absorbed by the device.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// The first page that failed a write, if any.
+    #[must_use]
+    pub fn first_failure(&self) -> Option<PhysicalPageAddr> {
+        self.first_failure
+    }
+
+    /// Whether any page would fail its next write.
+    ///
+    /// Unlike [`PcmDevice::first_failure`], this scans live wear state,
+    /// so it flags pages that are exhausted but have not yet been written
+    /// past their limit.
+    #[must_use]
+    pub fn any_page_exhausted(&self) -> bool {
+        self.wear
+            .iter()
+            .zip(self.endurance.iter())
+            .any(|(&w, (_, e))| w >= e)
+    }
+
+    /// Snapshot of wear statistics.
+    #[must_use]
+    pub fn wear_stats(&self) -> WearStats {
+        WearStats::compute(&self.wear, &self.endurance)
+    }
+
+    /// Per-page wear counters (weakly ordered with addresses).
+    #[must_use]
+    pub fn wear_counters(&self) -> &[u64] {
+        &self.wear
+    }
+
+    /// Captures the full device state for later [`PcmDevice::restore`].
+    #[must_use]
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            config: self.config.clone(),
+            endurance: self.endurance.clone(),
+            wear: self.wear.clone(),
+            total_writes: self.total_writes,
+            first_failure: self.first_failure,
+        }
+    }
+
+    /// Rebuilds a device from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::InvalidConfig`] if the snapshot is internally
+    /// inconsistent (mismatched lengths, wear totals, or wear exceeding
+    /// endurance beyond the at-limit state).
+    pub fn restore(snapshot: DeviceSnapshot) -> Result<Self, PcmError> {
+        let pages = snapshot.config.pages as usize;
+        if snapshot.endurance.len() != pages || snapshot.wear.len() != pages {
+            return Err(PcmError::InvalidConfig(
+                "snapshot table sizes do not match its config".into(),
+            ));
+        }
+        if snapshot.wear.iter().sum::<u64>() != snapshot.total_writes {
+            return Err(PcmError::InvalidConfig(
+                "snapshot wear counters do not sum to its write total".into(),
+            ));
+        }
+        for ((_, e), &w) in snapshot.endurance.iter().zip(snapshot.wear.iter()) {
+            if w > e {
+                return Err(PcmError::InvalidConfig(
+                    "snapshot wear exceeds page endurance".into(),
+                ));
+            }
+        }
+        Ok(Self {
+            config: snapshot.config,
+            endurance: snapshot.endurance,
+            wear: snapshot.wear,
+            total_writes: snapshot.total_writes,
+            first_failure: snapshot.first_failure,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(pages: u64, endurance: u64) -> PcmDevice {
+        let config = PcmConfig::builder()
+            .pages(pages)
+            .mean_endurance(endurance)
+            .sigma_fraction(0.0)
+            .seed(0)
+            .build()
+            .unwrap();
+        PcmDevice::new(&config)
+    }
+
+    #[test]
+    fn wear_accumulates_until_failure() {
+        let mut dev = device(4, 3);
+        let pa = PhysicalPageAddr::new(2);
+        for i in 1..=3 {
+            dev.write_page(pa).unwrap();
+            assert_eq!(dev.wear(pa), i);
+        }
+        let err = dev.write_page(pa).unwrap_err();
+        assert_eq!(
+            err,
+            PcmError::PageWornOut {
+                addr: pa,
+                writes: 3
+            }
+        );
+        assert_eq!(dev.first_failure(), Some(pa));
+        assert!(dev.is_worn_out(pa));
+        assert_eq!(dev.total_writes(), 3);
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut dev = device(4, 10);
+        let err = dev.write_page(PhysicalPageAddr::new(4)).unwrap_err();
+        assert!(matches!(
+            err,
+            PcmError::AddrOutOfRange { index: 4, pages: 4 }
+        ));
+        assert!(dev.read_page(PhysicalPageAddr::new(9)).is_err());
+    }
+
+    #[test]
+    fn reads_do_not_wear() {
+        let dev = device(4, 10);
+        dev.read_page(PhysicalPageAddr::new(1)).unwrap();
+        assert_eq!(dev.wear(PhysicalPageAddr::new(1)), 0);
+    }
+
+    #[test]
+    fn first_failure_latches_earliest() {
+        let mut dev = device(4, 1);
+        let a = PhysicalPageAddr::new(0);
+        let b = PhysicalPageAddr::new(1);
+        dev.write_page(a).unwrap();
+        dev.write_page(b).unwrap();
+        let _ = dev.write_page(b);
+        let _ = dev.write_page(a);
+        assert_eq!(dev.first_failure(), Some(b));
+    }
+
+    #[test]
+    fn any_page_exhausted_scans_state() {
+        let mut dev = device(4, 2);
+        assert!(!dev.any_page_exhausted());
+        let pa = PhysicalPageAddr::new(0);
+        dev.write_page(pa).unwrap();
+        dev.write_page(pa).unwrap();
+        assert!(dev.any_page_exhausted());
+        assert!(
+            dev.first_failure().is_none(),
+            "no failing write happened yet"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behaviour() {
+        let mut dev = device(8, 5);
+        let pa = PhysicalPageAddr::new(2);
+        for _ in 0..3 {
+            dev.write_page(pa).unwrap();
+        }
+        let mut restored = PcmDevice::restore(dev.snapshot()).unwrap();
+        assert_eq!(restored.wear(pa), 3);
+        assert_eq!(restored.total_writes(), 3);
+        // Two more writes exhaust the page in both.
+        for _ in 0..2 {
+            dev.write_page(pa).unwrap();
+            restored.write_page(pa).unwrap();
+        }
+        assert_eq!(
+            dev.write_page(pa).unwrap_err(),
+            restored.write_page(pa).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn tampered_snapshot_is_rejected() {
+        let mut dev = device(4, 5);
+        dev.write_page(PhysicalPageAddr::new(0)).unwrap();
+        let mut snap = dev.snapshot();
+        // Inflate the write total without touching the counters.
+        snap.total_writes += 1;
+        assert!(matches!(
+            PcmDevice::restore(snap),
+            Err(PcmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn with_endurance_size_mismatch_panics() {
+        let config = PcmConfig::builder().pages(4).build().unwrap();
+        let map = EnduranceMap::from_values(vec![1, 2]);
+        let result = std::panic::catch_unwind(|| PcmDevice::with_endurance(&config, map));
+        assert!(result.is_err());
+    }
+}

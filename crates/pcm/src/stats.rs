@@ -1,0 +1,144 @@
+//! Wear-distribution statistics.
+
+use crate::EnduranceMap;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate wear statistics over a device snapshot.
+///
+/// The interesting quantity for wear leveling is not raw wear but *wear
+/// ratio* — wear divided by the page's own endurance — because a PV-aware
+/// scheme succeeds exactly when wear ratios are uniform ("wear-rate
+/// leveling"). [`WearStats::max_wear_ratio`] hitting 1.0 is death.
+///
+/// # Examples
+///
+/// ```
+/// use twl_pcm::{EnduranceMap, WearStats};
+///
+/// let endurance = EnduranceMap::from_values(vec![100, 200]);
+/// let stats = WearStats::compute(&[50, 50], &endurance);
+/// assert_eq!(stats.max_wear_ratio, 0.5);
+/// assert_eq!(stats.total_writes, 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearStats {
+    /// Total writes absorbed across all pages.
+    pub total_writes: u64,
+    /// Mean wear per page.
+    pub mean_wear: f64,
+    /// Highest wear counter.
+    pub max_wear: u64,
+    /// Highest wear / endurance ratio — 1.0 means a dead page.
+    pub max_wear_ratio: f64,
+    /// Mean of wear / endurance.
+    pub mean_wear_ratio: f64,
+    /// Gini coefficient of the wear distribution (0 = perfectly even).
+    pub wear_gini: f64,
+    /// Fraction of the device's total endurance consumed.
+    pub capacity_consumed: f64,
+}
+
+impl WearStats {
+    /// Computes statistics from raw wear counters and the endurance map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wear` and `endurance` lengths differ or are zero.
+    #[must_use]
+    pub fn compute(wear: &[u64], endurance: &EnduranceMap) -> Self {
+        assert_eq!(
+            wear.len(),
+            endurance.len(),
+            "wear/endurance length mismatch"
+        );
+        assert!(!wear.is_empty(), "cannot compute stats of an empty device");
+        let n = wear.len() as f64;
+        let total_writes: u64 = wear.iter().sum();
+        let max_wear = *wear.iter().max().expect("non-empty");
+        let mut max_ratio = 0.0f64;
+        let mut sum_ratio = 0.0f64;
+        for ((_, e), &w) in endurance.iter().zip(wear.iter()) {
+            let r = w as f64 / e as f64;
+            sum_ratio += r;
+            if r > max_ratio {
+                max_ratio = r;
+            }
+        }
+        Self {
+            total_writes,
+            mean_wear: total_writes as f64 / n,
+            max_wear,
+            max_wear_ratio: max_ratio,
+            mean_wear_ratio: sum_ratio / n,
+            wear_gini: gini(wear),
+            capacity_consumed: total_writes as f64 / endurance.total() as f64,
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative sample (0 = all equal, →1 = all
+/// mass on one element).
+fn gini(values: &[u64]) -> f64 {
+    let n = values.len();
+    let total: u128 = values.iter().map(|&v| u128::from(v)).sum();
+    if total == 0 || n < 2 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with i from 1.
+    let weighted: u128 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u128 + 1) * u128::from(v))
+        .sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_wear_has_zero_gini() {
+        let endurance = EnduranceMap::from_values(vec![10; 8]);
+        let stats = WearStats::compute(&[5; 8], &endurance);
+        assert!(stats.wear_gini.abs() < 1e-12);
+        assert_eq!(stats.max_wear, 5);
+        assert!((stats.capacity_consumed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_wear_has_high_gini() {
+        let endurance = EnduranceMap::from_values(vec![10; 8]);
+        let mut wear = vec![0u64; 8];
+        wear[0] = 80;
+        let stats = WearStats::compute(&wear, &endurance);
+        assert!(stats.wear_gini > 0.8, "gini = {}", stats.wear_gini);
+        assert_eq!(stats.max_wear_ratio, 8.0);
+    }
+
+    #[test]
+    fn wear_ratio_uses_per_page_endurance() {
+        let endurance = EnduranceMap::from_values(vec![100, 10]);
+        let stats = WearStats::compute(&[50, 9], &endurance);
+        assert!((stats.max_wear_ratio - 0.9).abs() < 1e-12);
+        assert!((stats.mean_wear_ratio - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_wear_is_all_zero() {
+        let endurance = EnduranceMap::from_values(vec![10, 20]);
+        let stats = WearStats::compute(&[0, 0], &endurance);
+        assert_eq!(stats.total_writes, 0);
+        assert_eq!(stats.wear_gini, 0.0);
+        assert_eq!(stats.max_wear_ratio, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let endurance = EnduranceMap::from_values(vec![10]);
+        let _ = WearStats::compute(&[1, 2], &endurance);
+    }
+}

@@ -1,0 +1,109 @@
+//! Uniform wear-leveling accounting.
+
+use crate::WriteOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Running statistics every [`WearLeveler`](crate::WearLeveler) maintains.
+///
+/// The two ratios the paper reports come straight from these counters:
+///
+/// * **swap/write ratio** (Fig. 7a) = `swaps / logical_writes`;
+/// * **extra-write ratio** = `(device_writes − logical_writes) /
+///   logical_writes` (§5.2 quotes ≈2.2 % for toss-up interval 32).
+///
+/// # Examples
+///
+/// ```
+/// use twl_pcm::PhysicalPageAddr;
+/// use twl_wl_core::{WlStats, WriteOutcome};
+///
+/// let mut stats = WlStats::new();
+/// stats.record_write(&WriteOutcome::plain(PhysicalPageAddr::new(0)));
+/// assert_eq!(stats.logical_writes, 1);
+/// assert_eq!(stats.swap_per_write(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WlStats {
+    /// Logical write requests serviced.
+    pub logical_writes: u64,
+    /// Device page writes performed (≥ `logical_writes`).
+    pub device_writes: u64,
+    /// Page swaps / migrations performed.
+    pub swaps: u64,
+    /// Total engine (table/logic) cycles added on the request path.
+    pub engine_cycles: u64,
+    /// Total cycles the memory was blocked by migrations.
+    pub blocking_cycles: u64,
+}
+
+impl WlStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one write outcome into the totals.
+    pub fn record_write(&mut self, outcome: &WriteOutcome) {
+        self.logical_writes += 1;
+        self.device_writes += u64::from(outcome.device_writes);
+        if outcome.swapped {
+            self.swaps += 1;
+        }
+        self.engine_cycles += outcome.engine_cycles;
+        self.blocking_cycles += outcome.blocking_cycles;
+    }
+
+    /// Swap operations per logical write (Fig. 7a's y-axis).
+    #[must_use]
+    pub fn swap_per_write(&self) -> f64 {
+        if self.logical_writes == 0 {
+            0.0
+        } else {
+            self.swaps as f64 / self.logical_writes as f64
+        }
+    }
+
+    /// Fraction of device writes that are overhead.
+    #[must_use]
+    pub fn extra_write_ratio(&self) -> f64 {
+        if self.logical_writes == 0 {
+            0.0
+        } else {
+            (self.device_writes - self.logical_writes) as f64 / self.logical_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_pcm::PhysicalPageAddr;
+
+    #[test]
+    fn ratios_from_mixed_outcomes() {
+        let mut stats = WlStats::new();
+        stats.record_write(&WriteOutcome::plain(PhysicalPageAddr::new(0)));
+        stats.record_write(&WriteOutcome {
+            pa: PhysicalPageAddr::new(1),
+            device_writes: 2,
+            swapped: true,
+            engine_cycles: 9,
+            blocking_cycles: 2250,
+        });
+        assert_eq!(stats.logical_writes, 2);
+        assert_eq!(stats.device_writes, 3);
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.swap_per_write(), 0.5);
+        assert_eq!(stats.extra_write_ratio(), 0.5);
+        assert_eq!(stats.engine_cycles, 9);
+        assert_eq!(stats.blocking_cycles, 2250);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let stats = WlStats::new();
+        assert_eq!(stats.swap_per_write(), 0.0);
+        assert_eq!(stats.extra_write_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The `WearLeveler` trait.
+
+use crate::{ReadOutcome, WlStats, WriteOutcome};
+use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
+
+/// A wear-leveling scheme sitting between logical addresses and a
+/// [`PcmDevice`].
+///
+/// Implementations own their mapping state (remapping tables or keyed
+/// permutations) and perform all device writes a request implies —
+/// including migrations — so the wear they cause is accounted exactly
+/// where the scheme decides to put it. The simulators in `twl-lifetime`
+/// and `twl-memctrl` drive any `dyn WearLeveler` identically; the trait
+/// is object-safe on purpose.
+///
+/// # Errors
+///
+/// `write` propagates [`PcmError::PageWornOut`] from the device; the
+/// first such error defines the device's lifetime in the paper's
+/// methodology. An error may surface from a *migration* write, not only
+/// from the requested page — wear-out during a swap still kills the
+/// device.
+pub trait WearLeveler {
+    /// A short human-readable scheme name (`"TWL_swp"`, `"SR"`, …).
+    fn name(&self) -> &str;
+
+    /// Number of pages the scheme manages.
+    fn page_count(&self) -> u64;
+
+    /// Current logical→physical translation (the read path of Fig. 5a).
+    fn translate(&self, la: LogicalPageAddr) -> PhysicalPageAddr;
+
+    /// Services a logical write, performing every device write it
+    /// implies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device's [`PcmError`] on wear-out or bad addressing.
+    fn write(
+        &mut self,
+        la: LogicalPageAddr,
+        device: &mut PcmDevice,
+    ) -> Result<WriteOutcome, PcmError>;
+
+    /// Services a logical read.
+    ///
+    /// The default implementation translates, validates against the
+    /// device, and charges no engine latency; schemes whose read path
+    /// touches tables (all of them, in practice) override the latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::AddrOutOfRange`] if the translation escapes
+    /// the device.
+    fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
+        let pa = self.translate(la);
+        device.read_page(pa)?;
+        Ok(ReadOutcome::plain(pa))
+    }
+
+    /// Accumulated accounting since construction.
+    fn stats(&self) -> &WlStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nowl;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let scheme = Nowl::new(8);
+        let obj: Box<dyn WearLeveler> = Box::new(scheme);
+        assert_eq!(obj.page_count(), 8);
+    }
+}

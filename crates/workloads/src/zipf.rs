@@ -1,0 +1,194 @@
+//! Zipf-distributed rank sampling.
+
+use twl_rng::SimRng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `alpha ≥ 0`:
+/// `P(rank k) ∝ 1 / (k+1)^alpha`.
+///
+/// Sampling uses a precomputed CDF and binary search — O(log n) per
+/// draw, exact, and deterministic given the RNG.
+///
+/// # Examples
+///
+/// ```
+/// use twl_rng::{SplitMix64, SimRng};
+/// use twl_workloads::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = SplitMix64::seed_from(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Whether the sampler has no ranks (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability mass of the hottest rank.
+    #[must_use]
+    pub fn hottest_share(&self) -> f64 {
+        self.cdf[0]
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut dyn SimRng) -> u64 {
+        let u = rng.next_unit_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Finds the Zipf exponent for which the hottest of `footprint` ranks
+/// carries probability `hot_share`, by bisection.
+///
+/// This is the calibration knob that turns Table 2's
+/// `ideal lifetime / lifetime-without-WL` ratio into a concrete locality
+/// model: under no wear leveling, lifetime is governed by the hottest
+/// page's share of the write traffic (see `twl-workloads` crate docs).
+///
+/// # Panics
+///
+/// Panics if `footprint < 2` or `hot_share` is outside the achievable
+/// range `(1/footprint, ~1)`.
+///
+/// # Examples
+///
+/// ```
+/// use twl_workloads::{zipf_alpha_for_hot_share, Zipf};
+///
+/// let alpha = zipf_alpha_for_hot_share(0.01, 4096);
+/// let zipf = Zipf::new(4096, alpha);
+/// assert!((zipf.hottest_share() - 0.01).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn zipf_alpha_for_hot_share(hot_share: f64, footprint: u64) -> f64 {
+    assert!(footprint >= 2, "footprint must have at least two pages");
+    let min_share = 1.0 / footprint as f64;
+    assert!(
+        hot_share > min_share && hot_share < 0.99,
+        "hot share {hot_share} unachievable over footprint {footprint}"
+    );
+    let share_at = |alpha: f64| Zipf::new(footprint, alpha).hottest_share();
+    let (mut lo, mut hi) = (0.0f64, 8.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if share_at(mid) < hot_share {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_rng::Xoshiro256StarStar;
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let zipf = Zipf::new(16, 0.0);
+        let mut rng = Xoshiro256StarStar::seed_from(1);
+        let mut counts = [0u64; 16];
+        for _ in 0..160_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / 160_000.0;
+            assert!((p - 1.0 / 16.0).abs() < 0.005, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn empirical_share_matches_hottest_share() {
+        let zipf = Zipf::new(256, 1.1);
+        let mut rng = Xoshiro256StarStar::seed_from(5);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| zipf.sample(&mut rng) == 0).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - zipf.hottest_share()).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn ranks_are_monotonically_less_likely() {
+        let zipf = Zipf::new(64, 0.9);
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..400_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // Compare coarse buckets to tolerate noise.
+        let head: u64 = counts[..8].iter().sum();
+        let mid: u64 = counts[8..32].iter().sum();
+        let tail: u64 = counts[32..].iter().sum();
+        assert!(
+            head > mid && mid > tail,
+            "head {head} mid {mid} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn calibration_covers_table2_range() {
+        // Table 2 ratios span roughly 14x..58x over 8192 pages, i.e.
+        // hot shares ~0.0017..0.0071; also check broader values.
+        for share in [0.002, 0.004, 0.007, 0.02, 0.1] {
+            let alpha = zipf_alpha_for_hot_share(share, 4096);
+            let achieved = Zipf::new(4096, alpha).hottest_share();
+            assert!(
+                (achieved - share).abs() / share < 0.02,
+                "share {share} -> alpha {alpha} -> {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unachievable")]
+    fn impossible_share_panics() {
+        let _ = zipf_alpha_for_hot_share(0.0001, 64);
+    }
+}

@@ -1,0 +1,77 @@
+//! Visualize how differently the schemes distribute wear: an ASCII
+//! wear-ratio heatmap of the device after a fixed write budget under a
+//! skewed workload.
+//!
+//! Each cell is a physical frame; the glyph encodes wear/endurance:
+//! `.` < 10 %, `-` < 30 %, `+` < 60 %, `#` < 90 %, `!` ≥ 90 %.
+//!
+//! Run: `cargo run --release --example wear_map`
+
+use tossup_wl::lifetime::{build_scheme, SchemeKind};
+use tossup_wl::pcm::{PcmConfig, PcmDevice, PhysicalPageAddr};
+use tossup_wl::workloads::{SyntheticWorkload, WorkloadConfig};
+
+const PAGES: u64 = 1024;
+const BUDGET: u64 = 6_000_000;
+
+fn glyph(ratio: f64) -> char {
+    match ratio {
+        r if r < 0.10 => '.',
+        r if r < 0.30 => '-',
+        r if r < 0.60 => '+',
+        r if r < 0.90 => '#',
+        _ => '!',
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pcm = PcmConfig::builder()
+        .pages(PAGES)
+        .mean_endurance(20_000)
+        .seed(11)
+        .build()?;
+
+    for kind in [
+        SchemeKind::Nowl,
+        SchemeKind::Sr,
+        SchemeKind::Bwl,
+        SchemeKind::TwlSwp,
+    ] {
+        let mut device = PcmDevice::new(&pcm);
+        let mut scheme = build_scheme(kind, &device)?;
+        let mut workload = SyntheticWorkload::new(&WorkloadConfig {
+            pages: PAGES,
+            footprint: PAGES / 2,
+            zipf_alpha: 0.9,
+            read_fraction: 0.0,
+            seed: 5,
+        });
+        let mut died_at = None;
+        for i in 0..BUDGET {
+            if scheme.write(workload.next_write_la(), &mut device).is_err() {
+                died_at = Some(i);
+                break;
+            }
+        }
+        let stats = device.wear_stats();
+        println!(
+            "\n=== {} ===  writes: {}{}  gini {:.3}  max wear-ratio {:.2}",
+            kind.label(),
+            died_at.unwrap_or(BUDGET),
+            if died_at.is_some() { " (DIED)" } else { "" },
+            stats.wear_gini,
+            stats.max_wear_ratio,
+        );
+        for row in 0..16u64 {
+            let line: String = (0..64)
+                .map(|col| {
+                    let pa = PhysicalPageAddr::new(row * 64 + col);
+                    glyph(device.wear(pa) as f64 / device.endurance(pa) as f64)
+                })
+                .collect();
+            println!("  {line}");
+        }
+    }
+    println!("\nLegend: . <10%  - <30%  + <60%  # <90%  ! >=90% of the frame's own endurance");
+    Ok(())
+}
