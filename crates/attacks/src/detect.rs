@@ -57,6 +57,7 @@ impl SwapDetector {
     pub fn observe(&mut self, outcome: &WriteOutcome) -> bool {
         if outcome.blocking_cycles >= self.threshold_cycles {
             self.detections += 1;
+            twl_telemetry::counter!("twl.attacks.detections").inc();
             true
         } else {
             false

@@ -452,6 +452,8 @@ impl WearLeveler for BloomFilterWl {
             device_writes += migrations;
             blocking_cycles += blocking;
             swapped = migrations > 0;
+            twl_telemetry::counter!("twl.baselines.bwl.epochs").inc();
+            twl_telemetry::counter!("twl.baselines.bwl.migrations").add(u64::from(migrations));
         }
 
         let outcome = WriteOutcome {

@@ -368,6 +368,7 @@ impl WearLeveler for SecurityRefresh {
             device_writes += 2;
             blocking_cycles += 2 * migrate;
             swapped = true;
+            twl_telemetry::counter!("twl.baselines.sr.inner_swaps").inc();
         }
 
         // Outer refresh: driven by global traffic; exchanges the data of
@@ -382,6 +383,7 @@ impl WearLeveler for SecurityRefresh {
                 device_writes += 2;
                 blocking_cycles += 2 * migrate;
                 swapped = true;
+                twl_telemetry::counter!("twl.baselines.sr.outer_swaps").inc();
             }
         }
 

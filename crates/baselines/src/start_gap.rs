@@ -161,6 +161,7 @@ impl StartGap {
         self.resident[neighbor as usize] = None;
         self.gap = neighbor;
         self.gap_moves += 1;
+        twl_telemetry::counter!("twl.baselines.start_gap.gap_moves").inc();
         Ok(device.config().timing.migrate_latency())
     }
 }

@@ -10,6 +10,7 @@ use twl_baselines::{BloomFilterWl, BwlConfig, CountingBloomFilter, SecurityRefre
 use twl_core::{TossUpWearLeveling, TwlConfig};
 use twl_pcm::{LogicalPageAddr, PcmConfig, PcmDevice};
 use twl_rng::{FeistelPermutation, FeistelRng, SplitMix64, Xoshiro256StarStar};
+use twl_telemetry::TelemetryRecord;
 use twl_wl_core::{Nowl, WearLeveler};
 use twl_workloads::{SyntheticWorkload, WorkloadConfig};
 
@@ -117,5 +118,38 @@ fn bench_schemes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rngs, bench_bloom, bench_schemes);
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    let counter = twl_telemetry::global().counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = twl_telemetry::global().histogram("bench.hist");
+    let mut i = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            i += 1;
+            hist.record(i & 0xFFFF);
+        })
+    });
+    // No sink installed in this process, so this measures the hot-path
+    // guard every instrumented simulation write pays: a single relaxed
+    // atomic load, no serialization.
+    let record = TelemetryRecord::Alarm {
+        scheme: "bench".to_owned(),
+        window: 1,
+        share: 0.5,
+    };
+    group.bench_function("emit_with_sinks_disabled", |b| {
+        b.iter(|| twl_telemetry::emit(black_box(&record)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rngs,
+    bench_bloom,
+    bench_schemes,
+    bench_telemetry
+);
 criterion_main!(benches);

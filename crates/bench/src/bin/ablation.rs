@@ -23,6 +23,7 @@ use twl_workloads::ParsecBenchmark;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("ablation", &config);
     println!("TWL design-choice ablations (Gmean lifetime over the four attacks)");
     println!(
         "device: {} pages, mean endurance {}, seed {}\n",
@@ -145,6 +146,7 @@ fn main() {
         ]);
     }
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }
 
 fn build(f: impl FnOnce(&mut TwlConfigBuilder)) -> TwlConfig {

@@ -18,6 +18,7 @@ use twl_pcm::{PcmConfig, PcmDevice};
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("ablation_sigma", &config);
     println!("PV-strength sweep: lifetime (years) vs endurance sigma");
     println!(
         "device: {} pages, mean endurance {}, seed {}\n",
@@ -66,4 +67,5 @@ fn main() {
     }
     print_table(&headers, &rows);
     println!("\n(paper operates at the 11% row)");
+    twl_bench::finish_telemetry();
 }

@@ -22,6 +22,7 @@ use twl_workloads::ParsecBenchmark;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("extension_adaptive", &config);
     // Deliberately use the paper's *nominal* intervals (128/128), which
     // are too slow for the scaled endurance — the failure the adaptive
     // variant exists to fix.
@@ -97,4 +98,5 @@ fn main() {
         ]);
     }
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }

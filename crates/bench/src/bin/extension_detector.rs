@@ -17,6 +17,7 @@ const STREAM_WRITES: u64 = 400_000;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("extension_detector", &config);
     println!("Online attack detection (Misra-Gries monitor, 32 counters, 16k-write windows)");
     println!("device: {} pages, seed {}\n", config.pages, config.seed);
 
@@ -61,4 +62,5 @@ fn main() {
     println!(
         "\n(scan and random attacks are indistinguishable from uniform traffic by design —\n they do not concentrate writes, and uniform traffic needs no PV-unaware defense)"
     );
+    twl_bench::finish_telemetry();
 }

@@ -18,6 +18,7 @@ use twl_wl_core::WearLeveler;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("extension_od3p", &config);
     println!("OD3P graceful degradation under attack");
     println!(
         "device: {} pages, mean endurance {}, seed {} (degradation budget: 50% of pages)\n",
@@ -63,4 +64,5 @@ fn main() {
     }
     print_table(&headers, &rows);
     println!("\n('extension' = total serviceable writes over writes to the first failure)");
+    twl_bench::finish_telemetry();
 }

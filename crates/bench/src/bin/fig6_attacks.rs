@@ -15,6 +15,7 @@ use twl_lifetime::{attack_matrix, Calibration, SchemeKind, SimLimits};
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("fig6_attacks", &config);
     let calibration = Calibration::attack_8gbps();
     println!(
         "Figure 6: lifetime under attacks (years); ideal = {:.1} years",
@@ -52,4 +53,5 @@ fn main() {
         rows.push(cells);
     }
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }

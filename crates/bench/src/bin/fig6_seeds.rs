@@ -17,6 +17,7 @@ const SEEDS: [u64; 5] = [42, 7, 1234, 9001, 31337];
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("fig6_seeds", &config);
     println!(
         "Figure 6 across {} PV draws (mean ± sd, years)",
         SEEDS.len()
@@ -56,4 +57,5 @@ fn main() {
     println!(
         "\nStable claims: TWL_swp > TWL_ap, TWL robust to 'inconsistent', BWL collapse, SR flat."
     );
+    twl_bench::finish_telemetry();
 }

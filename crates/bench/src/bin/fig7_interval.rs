@@ -21,6 +21,7 @@ const RATIO_WRITES: u64 = 400_000;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("fig7_interval", &config);
     println!("Figure 7: toss-up interval selection");
     println!(
         "device: {} pages, mean endurance {} (attack runs), seed {}\n",
@@ -91,4 +92,5 @@ fn main() {
     }
     print_table(&headers, &rows);
     println!("\nminimum server-replacement requirement: 3 years (paper picks interval 32)");
+    twl_bench::finish_telemetry();
 }

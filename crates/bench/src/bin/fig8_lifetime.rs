@@ -11,6 +11,7 @@ use twl_workloads::ParsecBenchmark;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("fig8_lifetime", &config);
     println!("Figure 8: normalized lifetime under PARSEC workloads");
     println!(
         "device: {} pages, mean endurance {}, seed {}\n",
@@ -46,4 +47,5 @@ fn main() {
     rows.push(mean_row);
     print_table(&headers, &rows);
     println!("\npaper means: BWL 0.756, SR 0.44, TWL 0.796");
+    twl_bench::finish_telemetry();
 }

@@ -21,6 +21,7 @@ const REQUESTS: u64 = 400_000;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("fig9_perf", &config);
     println!("Figure 9: normalized execution time (vs NOWL)");
     println!(
         "device: {} pages (nominal endurance), seed {}\n",
@@ -116,4 +117,5 @@ fn main() {
         rows.push(cells);
     }
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }

@@ -11,7 +11,9 @@ use twl_core::{TwlConfig, TwlOverhead};
 use twl_pcm::PcmConfig;
 
 fn main() {
-    let scaled = ExperimentConfig::from_env().pcm_config();
+    let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("overhead_table", &config);
+    let scaled = config.pcm_config();
     let nominal = PcmConfig::nominal_dac17();
     let twl = TwlConfig::dac17();
 
@@ -58,6 +60,7 @@ fn main() {
         ),
     ];
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }
 
 fn row(

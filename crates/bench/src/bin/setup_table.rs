@@ -3,10 +3,12 @@
 //!
 //! Run: `cargo run -p twl-bench --bin setup_table`
 
+use twl_bench::ExperimentConfig;
 use twl_core::TwlConfig;
 use twl_pcm::PcmConfig;
 
 fn main() {
+    twl_bench::init_telemetry("setup_table", &ExperimentConfig::default());
     let pcm = PcmConfig::nominal_dac17();
     let twl = TwlConfig::dac17();
 
@@ -41,4 +43,5 @@ fn main() {
         "  pairing: {:?}   optimized swap-then-write: {}",
         twl.pairing, twl.optimized_swap
     );
+    twl_bench::finish_telemetry();
 }

@@ -14,6 +14,7 @@ use twl_workloads::ParsecBenchmark;
 
 fn main() {
     let config = ExperimentConfig::from_env();
+    twl_bench::init_telemetry("table2", &config);
     println!("Table 2: PARSEC benchmarks (simulated NOWL vs paper)");
     println!(
         "device: {} pages, mean endurance {}, seed {}\n",
@@ -51,4 +52,5 @@ fn main() {
         ]);
     }
     print_table(&headers, &rows);
+    twl_bench::finish_telemetry();
 }

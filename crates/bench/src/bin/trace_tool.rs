@@ -32,6 +32,14 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    twl_bench::init_telemetry(
+        "trace_tool",
+        &twl_bench::ExperimentConfig {
+            pages: PAGES,
+            mean_endurance: 20_000,
+            seed: 42,
+        },
+    );
     let result = match args.first().map(String::as_str) {
         Some("gen") if args.len() == 4 => generate(&args[1], &args[2], &args[3]),
         Some("stat") if args.len() == 2 => stat(&args[1]),
@@ -40,6 +48,7 @@ fn main() {
         }
         _ => usage(),
     };
+    twl_bench::finish_telemetry();
     if let Err(e) = result {
         eprintln!("error: {e}");
         exit(1);

@@ -12,6 +12,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use twl_pcm::{PcmConfig, PcmDevice};
+use twl_telemetry::{JsonlSink, TelemetryRecord};
 
 /// Tables printed so far by this process (for CSV file naming).
 static TABLE_COUNTER: AtomicU32 = AtomicU32::new(0);
@@ -108,6 +109,47 @@ impl Default for ExperimentConfig {
     fn default() -> Self {
         Self::from_args(std::iter::empty::<&str>())
     }
+}
+
+/// Installs the JSONL trace sink for a bench binary and emits the run
+/// header.
+///
+/// The trace lands at `results/<tool>.trace.jsonl` by default; the
+/// `TWL_TRACE_OUT` environment variable overrides the path, and the
+/// values `0`, `none`, or `off` disable tracing entirely. Inspect the
+/// result with `cargo run --bin twl-stats -- <trace>`.
+pub fn init_telemetry(tool: &str, config: &ExperimentConfig) {
+    let path = match env::var("TWL_TRACE_OUT") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("none") || v.eq_ignore_ascii_case("off") => {
+            return;
+        }
+        Ok(v) => PathBuf::from(v),
+        Err(_) => PathBuf::from("results").join(format!("{tool}.trace.jsonl")),
+    };
+    match JsonlSink::create(&path) {
+        Ok(sink) => {
+            twl_telemetry::install_sink(sink);
+            twl_telemetry::emit(&TelemetryRecord::RunStart {
+                tool: tool.to_owned(),
+                pages: config.pages,
+                mean_endurance: config.mean_endurance,
+                seed: config.seed,
+            });
+            eprintln!("telemetry: tracing to {}", path.display());
+        }
+        Err(e) => eprintln!("warning: telemetry disabled ({}: {e})", path.display()),
+    }
+}
+
+/// Dumps the global metrics registry into the trace and flushes/removes
+/// every sink. Call once at the end of `main`.
+pub fn finish_telemetry() {
+    if twl_telemetry::enabled() {
+        twl_telemetry::emit(&TelemetryRecord::Counters(
+            twl_telemetry::global().snapshot(),
+        ));
+    }
+    twl_telemetry::clear_sinks();
 }
 
 /// Prints a fixed-width table: a header row, a separator, then rows.

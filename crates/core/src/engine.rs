@@ -135,6 +135,7 @@ impl TossUpWearLeveling {
         device: &mut PcmDevice,
     ) -> Result<TossResult, PcmError> {
         self.toss_ups += 1;
+        twl_telemetry::counter!("twl.core.toss_ups").inc();
         let partner = self.pairs.partner(pa);
         let e_here = self.toss_endurance(pa, device);
         let e_partner = self.toss_endurance(partner, device);
@@ -170,6 +171,7 @@ impl TossUpWearLeveling {
             (2, 2 * migrate)
         };
         self.rt.swap_physical(pa, chosen);
+        twl_telemetry::counter!("twl.core.toss_swaps").inc();
         Ok(TossResult {
             target: chosen,
             migration_writes,
@@ -195,6 +197,7 @@ impl TossUpWearLeveling {
             });
         }
         self.inter_pair_swaps += 1;
+        twl_telemetry::counter!("twl.core.inter_pair_swaps").inc();
         // Full content exchange: both frames are rewritten.
         device.write_page(pa)?;
         device.write_page(target)?;
@@ -279,6 +282,10 @@ impl WearLeveler for TossUpWearLeveling {
             blocking_cycles,
         };
         self.stats.record_write(&outcome);
+        twl_telemetry::counter!("twl.core.writes").inc();
+        if blocking_cycles > 0 {
+            twl_telemetry::histogram!("twl.core.blocking_cycles").record(blocking_cycles);
+        }
         Ok(outcome)
     }
 

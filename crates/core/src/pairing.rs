@@ -72,6 +72,7 @@ impl PairTable {
         let n = endurance.len();
         assert!(n >= 2, "pairing needs at least 2 pages");
         assert!(n.is_multiple_of(2), "pairing needs an even page count");
+        twl_telemetry::counter!("twl.core.pair_builds").inc();
         let mut partner = vec![0u64; n];
         match strategy {
             PairingStrategy::StrongWeak => {

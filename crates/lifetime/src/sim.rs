@@ -4,7 +4,8 @@ use crate::{Calibration, LifetimeReport};
 use serde::{Deserialize, Serialize};
 use twl_attacks::AttackStream;
 use twl_pcm::{PcmDevice, PcmError};
-use twl_wl_core::{WearLeveler, WriteOutcome};
+use twl_telemetry::{SchemeSummary, TelemetryRecord, WearMapSampler};
+use twl_wl_core::{AttackMonitor, WearLeveler, WriteOutcome};
 use twl_workloads::SyntheticWorkload;
 
 /// Safety limits for a lifetime run.
@@ -40,6 +41,7 @@ pub fn run_attack(
     calibration: &Calibration,
 ) -> LifetimeReport {
     let workload_name = attack.name().to_owned();
+    let mut telemetry = RunTelemetry::begin(scheme, device, &workload_name);
     let mut feedback: Option<WriteOutcome> = None;
     let mut logical_writes = 0u64;
     let mut failure = None;
@@ -48,6 +50,7 @@ pub fn run_attack(
         match scheme.write(la, device) {
             Ok(out) => {
                 logical_writes += 1;
+                telemetry.observe(la, &out, device);
                 feedback = Some(out);
             }
             Err(PcmError::PageWornOut { addr, .. }) => {
@@ -57,6 +60,7 @@ pub fn run_attack(
             Err(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
         }
     }
+    let alarm_rate = telemetry.end(device);
     finish(
         scheme,
         device,
@@ -64,6 +68,7 @@ pub fn run_attack(
         logical_writes,
         failure,
         calibration,
+        alarm_rate,
     )
 }
 
@@ -80,12 +85,16 @@ pub fn run_workload(
     limits: &SimLimits,
     calibration: &Calibration,
 ) -> LifetimeReport {
+    let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
     let mut logical_writes = 0u64;
     let mut failure = None;
     while logical_writes < limits.max_logical_writes {
         let la = workload.next_write_la();
         match scheme.write(la, device) {
-            Ok(_) => logical_writes += 1,
+            Ok(out) => {
+                logical_writes += 1;
+                telemetry.observe(la, &out, device);
+            }
             Err(PcmError::PageWornOut { addr, .. }) => {
                 failure = Some(addr);
                 break;
@@ -93,6 +102,7 @@ pub fn run_workload(
             Err(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
         }
     }
+    let alarm_rate = telemetry.end(device);
     finish(
         scheme,
         device,
@@ -100,9 +110,82 @@ pub fn run_workload(
         logical_writes,
         failure,
         calibration,
+        alarm_rate,
     )
 }
 
+/// Number of wear-map snapshots a full lifetime run aims for.
+const WEAR_SNAPSHOTS_PER_RUN: u64 = 32;
+
+/// Per-run observability: a wear-map sampler plus a passive HPCA'11
+/// attack monitor over the logical write stream. Fully skipped (no
+/// state, no per-write work beyond one branch) when no telemetry sink
+/// is installed when the run starts.
+struct RunTelemetry {
+    scheme: String,
+    workload: String,
+    active: Option<(WearMapSampler, AttackMonitor)>,
+}
+
+impl RunTelemetry {
+    fn begin(scheme: &dyn WearLeveler, device: &PcmDevice, workload: &str) -> Self {
+        let active = twl_telemetry::enabled().then(|| {
+            // Aim for WEAR_SNAPSHOTS_PER_RUN samples over the device's
+            // total endurance — the longest any run can last.
+            let cadence =
+                u64::try_from(device.endurance_map().total() / u128::from(WEAR_SNAPSHOTS_PER_RUN))
+                    .unwrap_or(u64::MAX)
+                    .max(1);
+            (
+                WearMapSampler::new(cadence, WEAR_SNAPSHOTS_PER_RUN as usize),
+                AttackMonitor::for_pages(),
+            )
+        });
+        Self {
+            scheme: scheme.name().to_owned(),
+            workload: workload.to_owned(),
+            active,
+        }
+    }
+
+    fn observe(&mut self, la: twl_pcm::LogicalPageAddr, out: &WriteOutcome, device: &PcmDevice) {
+        let Some((sampler, monitor)) = &mut self.active else {
+            return;
+        };
+        if monitor.observe_write(la, Some(out)) {
+            twl_telemetry::emit(&TelemetryRecord::Alarm {
+                scheme: self.scheme.clone(),
+                window: monitor.windows(),
+                share: monitor.last_window_share(),
+            });
+        }
+        if let Some(snapshot) =
+            sampler.observe(u64::from(out.device_writes), device.wear_counters())
+        {
+            twl_telemetry::emit(&TelemetryRecord::Wear {
+                scheme: self.scheme.clone(),
+                workload: self.workload.clone(),
+                snapshot: snapshot.clone(),
+            });
+        }
+    }
+
+    /// Emits the final wear snapshot and returns the observed alarm rate.
+    fn end(mut self, device: &PcmDevice) -> f64 {
+        let Some((sampler, monitor)) = &mut self.active else {
+            return 0.0;
+        };
+        let snapshot = sampler.snapshot_now(device.wear_counters()).clone();
+        twl_telemetry::emit(&TelemetryRecord::Wear {
+            scheme: self.scheme.clone(),
+            workload: self.workload.clone(),
+            snapshot,
+        });
+        monitor.alarm_rate()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn finish(
     scheme: &dyn WearLeveler,
     device: &PcmDevice,
@@ -110,11 +193,12 @@ fn finish(
     logical_writes: u64,
     failure: Option<twl_pcm::PhysicalPageAddr>,
     calibration: &Calibration,
+    alarm_rate: f64,
 ) -> LifetimeReport {
     let stats = scheme.stats();
     let total_endurance = device.endurance_map().total() as f64;
     let capacity_fraction = device.total_writes() as f64 / total_endurance;
-    LifetimeReport {
+    let report = LifetimeReport {
         scheme: scheme.name().to_owned(),
         workload,
         logical_writes,
@@ -126,7 +210,22 @@ fn finish(
         swap_per_write: stats.swap_per_write(),
         extra_write_ratio: stats.extra_write_ratio(),
         wear_gini: device.wear_stats().wear_gini,
-    }
+    };
+    twl_telemetry::emit(&TelemetryRecord::Summary(SchemeSummary {
+        scheme: report.scheme.clone(),
+        workload: report.workload.clone(),
+        logical_writes: report.logical_writes,
+        device_writes: report.device_writes,
+        swaps: stats.swaps,
+        swap_per_write: report.swap_per_write,
+        extra_write_ratio: report.extra_write_ratio,
+        alarm_rate,
+        capacity_fraction: report.capacity_fraction,
+        years: report.years,
+        wear_gini: report.wear_gini,
+        completed: report.completed,
+    }));
+    report
 }
 
 #[cfg(test)]

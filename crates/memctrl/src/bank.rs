@@ -65,6 +65,7 @@ impl BankArray {
     /// Seizes every bank for `duration` cycles starting no earlier than
     /// `now` (atomic bulk migration); returns the completion time.
     pub fn occupy_all(&mut self, now: f64, duration: f64) -> f64 {
+        twl_telemetry::counter!("twl.memctrl.full_blockings").inc();
         let start = self.busy_until.iter().fold(now, |acc, &b| acc.max(b));
         let end = start + duration;
         for b in &mut self.busy_until {

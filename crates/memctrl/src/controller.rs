@@ -175,6 +175,7 @@ pub fn queued_execution(
         match cmd.op {
             MemOp::Write => {
                 writes += 1;
+                twl_telemetry::counter!("twl.memctrl.writes").inc();
                 match config.policy {
                     // FCFS issues every write straight to its bank, in
                     // arrival order — reads arriving later on the same
@@ -192,6 +193,7 @@ pub fn queued_execution(
             }
             MemOp::Read => {
                 reads += 1;
+                twl_telemetry::counter!("twl.memctrl.reads").inc();
                 let out = scheme.read(cmd.la, device)?;
                 let done = banks.occupy(out.pa, clock + out.engine_cycles as f64, read_latency);
                 last_completion = last_completion.max(done);
@@ -221,8 +223,10 @@ pub fn queued_execution(
                     }
                 }
             }
+            twl_telemetry::histogram!("twl.memctrl.write_queue_depth").record(write_q.len() as u64);
             if write_q.len() >= config.drain_high.min(config.write_queue_depth) {
                 draining = true;
+                twl_telemetry::counter!("twl.memctrl.forced_drains").inc();
             }
             if draining {
                 while write_q.len() > config.drain_low {

@@ -1,0 +1,78 @@
+//! `twl-stats`: inspect twl-telemetry JSONL traces.
+//!
+//! ```text
+//! twl-stats <trace.jsonl>                    per-scheme summary table
+//! twl-stats --diff <old.jsonl> <new.jsonl>   wear-out regression check
+//!           [--tolerance 0.05]
+//! ```
+//!
+//! `--diff` exits non-zero when the new trace regresses lifetime, write
+//! amplification, or wear inequality beyond the tolerance, so it can
+//! gate CI.
+
+use std::process::ExitCode;
+
+use twl_telemetry::{diff_traces, render_summary_table, Trace};
+
+const USAGE: &str = "usage:
+  twl-stats <trace.jsonl>
+  twl-stats --diff <old.jsonl> <new.jsonl> [--tolerance <fraction>]";
+
+fn load(path: &str) -> Result<Trace, String> {
+    Trace::load(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args {
+        [path] if path != "--diff" && !path.starts_with("--") => {
+            let trace = load(path)?;
+            print!("{}", render_summary_table(&trace));
+            Ok(ExitCode::SUCCESS)
+        }
+        [flag, rest @ ..] if flag == "--diff" => {
+            let (old_path, new_path, tolerance) = match rest {
+                [old, new] => (old, new, 0.05),
+                [old, new, tol_flag, tol] if tol_flag == "--tolerance" => (
+                    old,
+                    new,
+                    tol.parse::<f64>()
+                        .map_err(|e| format!("bad tolerance `{tol}`: {e}"))?,
+                ),
+                _ => return Err(USAGE.to_owned()),
+            };
+            let old = load(old_path)?;
+            let new = load(new_path)?;
+            let regressions = diff_traces(&old, &new, tolerance);
+            if regressions.is_empty() {
+                println!(
+                    "ok: no wear-out regressions ({} cells checked, tolerance {:.1}%)",
+                    new.summaries().count(),
+                    tolerance * 100.0
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "{} regression(s) past {:.1}%:",
+                    regressions.len(),
+                    tolerance * 100.0
+                );
+                for r in &regressions {
+                    println!("  {}", r.describe());
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Trace inspection: load a JSONL trace, render per-scheme tables, and
+//! compare two traces for wear-out regressions.
+//!
+//! This is the library half of the `twl-stats` binary — kept out of the
+//! binary so the table and diff logic is unit-testable.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::record::{SchemeSummary, TelemetryRecord};
+use crate::wear::WearSnapshot;
+
+/// A loaded trace: the parsed records plus a count of skipped lines.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Records in file order.
+    pub records: Vec<TelemetryRecord>,
+    /// Lines that failed to parse (tolerated, but reported).
+    pub skipped: usize,
+}
+
+impl Trace {
+    /// Parses JSONL text; unparseable lines are counted, not fatal.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut trace = Self::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match TelemetryRecord::from_jsonl(line) {
+                Ok(record) => trace.records.push(record),
+                Err(_) => trace.skipped += 1,
+            }
+        }
+        trace
+    }
+
+    /// Loads a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be read.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// The run header, if the trace carries one.
+    #[must_use]
+    pub fn run_start(&self) -> Option<(&str, u64, u64, u64)> {
+        self.records.iter().find_map(|r| match r {
+            TelemetryRecord::RunStart {
+                tool,
+                pages,
+                mean_endurance,
+                seed,
+            } => Some((tool.as_str(), *pages, *mean_endurance, *seed)),
+            _ => None,
+        })
+    }
+
+    /// All scheme summaries in file order.
+    pub fn summaries(&self) -> impl Iterator<Item = &SchemeSummary> {
+        self.records.iter().filter_map(|r| match r {
+            TelemetryRecord::Summary(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The last wear snapshot recorded for a (scheme, workload) cell.
+    #[must_use]
+    pub fn final_wear(&self, scheme: &str, workload: &str) -> Option<&WearSnapshot> {
+        self.records.iter().rev().find_map(|r| match r {
+            TelemetryRecord::Wear {
+                scheme: s,
+                workload: w,
+                snapshot,
+            } if s == scheme && w == workload => Some(snapshot),
+            _ => None,
+        })
+    }
+
+    /// Alarm records counted per scheme.
+    #[must_use]
+    pub fn alarms_by_scheme(&self) -> BTreeMap<&str, u64> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            if let TelemetryRecord::Alarm { scheme, .. } = r {
+                *out.entry(scheme.as_str()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+fn render_columns(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-scheme summary table: swap/write ratio, extra-write
+/// percentage, alarm rate, lifetime, and wear percentiles (joined from
+/// the cell's final wear snapshot when present).
+#[must_use]
+pub fn render_summary_table(trace: &Trace) -> String {
+    let mut out = String::new();
+    if let Some((tool, pages, endurance, seed)) = trace.run_start() {
+        out.push_str(&format!(
+            "trace: tool={tool} pages={pages} mean_endurance={endurance} seed={seed}\n\n"
+        ));
+    }
+    let rows: Vec<Vec<String>> = trace
+        .summaries()
+        .map(|s| {
+            let (p50, p99, max) = trace.final_wear(&s.scheme, &s.workload).map_or(
+                (String::from("-"), String::from("-"), String::from("-")),
+                |w| {
+                    (
+                        w.summary.p50.to_string(),
+                        w.summary.p99.to_string(),
+                        w.summary.max.to_string(),
+                    )
+                },
+            );
+            vec![
+                s.scheme.clone(),
+                s.workload.clone(),
+                format!("{:.5}", s.swap_per_write),
+                format!("{:.2}%", s.extra_write_ratio * 100.0),
+                format!("{:.3}", s.alarm_rate),
+                format!("{:.2}", s.years),
+                format!("{:.4}", s.wear_gini),
+                p50,
+                p99,
+                max,
+                if s.completed { "yes" } else { "budget" }.to_owned(),
+            ]
+        })
+        .collect();
+    if rows.is_empty() {
+        out.push_str("no scheme_summary records in trace\n");
+    } else {
+        out.push_str(&render_columns(
+            &[
+                "scheme", "workload", "swap/wr", "extra-wr", "alarm", "years", "gini", "wear-p50",
+                "wear-p99", "wear-max", "wearout",
+            ],
+            &rows,
+        ));
+    }
+    if trace.skipped > 0 {
+        out.push_str(&format!(
+            "\n({} unparseable lines skipped)\n",
+            trace.skipped
+        ));
+    }
+    out
+}
+
+/// One detected regression between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scheme of the regressed cell.
+    pub scheme: String,
+    /// Workload of the regressed cell.
+    pub workload: String,
+    /// Which quantity moved (`years`, `extra_write_ratio`, `wear_gini`).
+    pub metric: &'static str,
+    /// Value in the baseline trace.
+    pub old: f64,
+    /// Value in the new trace.
+    pub new: f64,
+}
+
+impl Regression {
+    /// Human-readable one-liner.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}: {} regressed {:.4} -> {:.4}",
+            self.scheme, self.workload, self.metric, self.old, self.new
+        )
+    }
+}
+
+/// Compares matching (scheme, workload) cells of two traces and reports
+/// wear-out regressions: lifetime shrinking, write amplification or wear
+/// inequality growing, each by more than `tolerance` (a fraction, e.g.
+/// `0.05` = 5%).
+#[must_use]
+pub fn diff_traces(old: &Trace, new: &Trace, tolerance: f64) -> Vec<Regression> {
+    let old_cells: BTreeMap<(String, String), &SchemeSummary> = old
+        .summaries()
+        .map(|s| ((s.scheme.clone(), s.workload.clone()), s))
+        .collect();
+    let mut regressions = Vec::new();
+    for s in new.summaries() {
+        let Some(base) = old_cells.get(&(s.scheme.clone(), s.workload.clone())) else {
+            continue;
+        };
+        // Lifetime: lower is worse.
+        if s.years < base.years * (1.0 - tolerance) {
+            regressions.push(Regression {
+                scheme: s.scheme.clone(),
+                workload: s.workload.clone(),
+                metric: "years",
+                old: base.years,
+                new: s.years,
+            });
+        }
+        // Write amplification: higher is worse. Absolute floor avoids
+        // flagging noise around zero.
+        if s.extra_write_ratio > base.extra_write_ratio * (1.0 + tolerance)
+            && s.extra_write_ratio - base.extra_write_ratio > 1e-6
+        {
+            regressions.push(Regression {
+                scheme: s.scheme.clone(),
+                workload: s.workload.clone(),
+                metric: "extra_write_ratio",
+                old: base.extra_write_ratio,
+                new: s.extra_write_ratio,
+            });
+        }
+        // Wear inequality: higher is worse.
+        if s.wear_gini > base.wear_gini * (1.0 + tolerance) && s.wear_gini - base.wear_gini > 1e-6 {
+            regressions.push(Regression {
+                scheme: s.scheme.clone(),
+                workload: s.workload.clone(),
+                metric: "wear_gini",
+                old: base.wear_gini,
+                new: s.wear_gini,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wear::WearSummary;
+
+    fn summary(scheme: &str, years: f64, extra: f64, gini: f64) -> TelemetryRecord {
+        TelemetryRecord::Summary(SchemeSummary {
+            scheme: scheme.to_owned(),
+            workload: "uniform".to_owned(),
+            logical_writes: 1000,
+            device_writes: 1100,
+            swaps: 50,
+            swap_per_write: 0.05,
+            extra_write_ratio: extra,
+            alarm_rate: 0.0,
+            capacity_fraction: 0.9,
+            years,
+            wear_gini: gini,
+            completed: true,
+        })
+    }
+
+    fn trace_of(records: Vec<TelemetryRecord>) -> Trace {
+        let text: String = records.iter().map(|r| r.to_jsonl() + "\n").collect();
+        Trace::parse(&text)
+    }
+
+    #[test]
+    fn table_joins_summary_with_final_wear() {
+        let trace = trace_of(vec![
+            TelemetryRecord::RunStart {
+                tool: "fig8_lifetime".to_owned(),
+                pages: 1024,
+                mean_endurance: 1_000_000,
+                seed: 7,
+            },
+            summary("twl-swp", 6.5, 0.025, 0.01),
+            TelemetryRecord::Wear {
+                scheme: "twl-swp".to_owned(),
+                workload: "uniform".to_owned(),
+                snapshot: WearSnapshot {
+                    seq: 0,
+                    at_writes: 1000,
+                    summary: WearSummary::from_counts(&[5, 6, 7, 8]),
+                },
+            },
+        ]);
+        let table = render_summary_table(&trace);
+        assert!(table.contains("twl-swp"), "table:\n{table}");
+        assert!(table.contains("2.50%"), "extra-write %:\n{table}");
+        assert!(table.contains('8'), "wear max joined:\n{table}");
+        assert!(table.contains("fig8_lifetime"), "header:\n{table}");
+    }
+
+    #[test]
+    fn diff_flags_lifetime_drop_only_past_tolerance() {
+        let old = trace_of(vec![summary("a", 10.0, 0.02, 0.01)]);
+        let ok = trace_of(vec![summary("a", 9.8, 0.02, 0.01)]);
+        let bad = trace_of(vec![summary("a", 8.0, 0.02, 0.01)]);
+        assert!(diff_traces(&old, &ok, 0.05).is_empty());
+        let regs = diff_traces(&old, &bad, 0.05);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "years");
+    }
+
+    #[test]
+    fn diff_flags_amplification_and_gini_growth() {
+        let old = trace_of(vec![summary("a", 10.0, 0.02, 0.01)]);
+        let bad = trace_of(vec![summary("a", 10.0, 0.04, 0.03)]);
+        let metrics: Vec<&str> = diff_traces(&old, &bad, 0.05)
+            .into_iter()
+            .map(|r| r.metric)
+            .collect();
+        assert_eq!(metrics, vec!["extra_write_ratio", "wear_gini"]);
+    }
+
+    #[test]
+    fn diff_ignores_cells_missing_from_baseline() {
+        let old = trace_of(vec![summary("a", 10.0, 0.02, 0.01)]);
+        let new = trace_of(vec![summary("b", 1.0, 0.5, 0.9)]);
+        assert!(diff_traces(&old, &new, 0.05).is_empty());
+    }
+
+    #[test]
+    fn unparseable_lines_are_counted_not_fatal() {
+        let trace = Trace::parse("not json\n\n{\"schema\":\"bogus\"}\n");
+        assert_eq!(trace.records.len(), 0);
+        assert_eq!(trace.skipped, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! `twl-telemetry`: the unified observability layer for the tossup-wl
+//! workspace.
+//!
+//! Four pieces:
+//!
+//! 1. **Metrics registry** ([`Registry`], [`global`]) — monotonic
+//!    counters, gauges, and fixed-bucket histograms behind `&'static`
+//!    handles, so hot paths (the wear-leveling engine, the memory
+//!    controller) record without threading `&mut` state through their
+//!    APIs. The [`counter!`], [`gauge!`] and [`histogram!`] macros cache
+//!    the lookup per call site; steady state is one relaxed atomic op.
+//! 2. **Wear-map sampling** ([`WearMapSampler`], [`WearSummary`]) —
+//!    per-page write-count histograms plus Gini / CoV wear-inequality
+//!    summaries captured every N writes into a bounded ring buffer.
+//! 3. **Sinks** ([`Sink`], [`MemorySink`], [`JsonlSink`], [`emit`]) —
+//!    pluggable record destinations: in-memory for tests, buffered
+//!    schema-versioned JSONL files for benchmark tools. When no sink is
+//!    installed, [`emit`] costs one relaxed atomic load.
+//! 4. **Inspection** ([`Trace`], [`render_summary_table`],
+//!    [`diff_traces`]) — the library behind the `twl-stats` binary:
+//!    loads JSONL traces, renders per-scheme tables, and flags wear-out
+//!    regressions between two traces.
+//!
+//! Every emitted record carries [`SCHEMA_VERSION`] so traces remain
+//! self-describing as the schema evolves.
+
+#![warn(missing_docs)]
+
+mod inspect;
+mod metrics;
+mod record;
+mod sink;
+mod wear;
+
+pub mod json;
+
+/// Schema tag stamped on every JSONL record.
+pub const SCHEMA_VERSION: &str = "twl-telemetry/v1";
+
+pub use inspect::{diff_traces, render_summary_table, Regression, Trace};
+pub use metrics::{global, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use record::{SchemeSummary, TelemetryRecord};
+pub use sink::{
+    clear_sinks, emit, enabled, flush_sinks, install_sink, set_enabled, JsonlSink, MemorySink, Sink,
+};
+pub use wear::{WearMapSampler, WearSnapshot, WearSummary, WEAR_BUCKETS};

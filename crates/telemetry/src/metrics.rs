@@ -1,0 +1,378 @@
+//! The metrics registry: monotonic counters, gauges, and fixed-bucket
+//! histograms with `&'static` handles.
+//!
+//! Hot paths record through shared references to interned metrics, so no
+//! `&mut` plumbing is needed through scheme or controller APIs and no
+//! allocation happens after a handle is created. Use the [`counter!`],
+//! [`gauge!`] and [`histogram!`](crate::histogram!) macros at call sites:
+//! they cache the registry lookup in a `OnceLock`, so the steady-state
+//! cost of a record is one relaxed atomic op.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram over fixed power-of-two buckets: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))`, with bucket 0 also holding zeros and the
+/// last bucket absorbing overflow.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Number of power-of-two buckets (covers `u64` values up to 2³¹).
+    pub const BUCKETS: usize = 32;
+
+    /// Creates an empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; Self::BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            (63 - v.leading_zeros() as usize).min(Self::BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Interned storage: names are registered once and leaked, so handles
+/// are `&'static` and hot paths never touch the registry lock again.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(&'static str, &'static Counter)>>,
+    gauges: Mutex<Vec<(&'static str, &'static Gauge)>>,
+    histograms: Mutex<Vec<(&'static str, &'static Histogram)>>,
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter names and values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge names and values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram names with (count, sum, max), sorted by name.
+    pub histograms: Vec<(String, u64, u64, u64)>,
+}
+
+impl Registry {
+    /// Returns (interning on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut table = self.counters.lock().expect("registry poisoned");
+        if let Some(&(_, c)) = table.iter().find(|(n, _)| *n == name) {
+            return c;
+        }
+        let entry: (&'static str, &'static Counter) = (
+            Box::leak(name.to_owned().into_boxed_str()),
+            Box::leak(Box::new(Counter::new())),
+        );
+        table.push(entry);
+        entry.1
+    }
+
+    /// Returns (interning on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut table = self.gauges.lock().expect("registry poisoned");
+        if let Some(&(_, g)) = table.iter().find(|(n, _)| *n == name) {
+            return g;
+        }
+        let entry: (&'static str, &'static Gauge) = (
+            Box::leak(name.to_owned().into_boxed_str()),
+            Box::leak(Box::new(Gauge::new())),
+        );
+        table.push(entry);
+        entry.1
+    }
+
+    /// Returns (interning on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut table = self.histograms.lock().expect("registry poisoned");
+        if let Some(&(_, h)) = table.iter().find(|(n, _)| *n == name) {
+            return h;
+        }
+        let entry: (&'static str, &'static Histogram) = (
+            Box::leak(name.to_owned().into_boxed_str()),
+            Box::leak(Box::new(Histogram::new())),
+        );
+        table.push(entry);
+        entry.1
+    }
+
+    /// Copies every metric's current value, each section sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for &(n, c) in self.counters.lock().expect("registry poisoned").iter() {
+            snap.counters.push((n.to_owned(), c.get()));
+        }
+        for &(n, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            snap.gauges.push((n.to_owned(), g.get()));
+        }
+        for &(n, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            snap.histograms
+                .push((n.to_owned(), h.count(), h.sum(), h.max()));
+        }
+        snap.counters.sort();
+        snap.gauges.sort();
+        snap.histograms.sort();
+        snap
+    }
+
+    /// Zeroes every registered metric (handles stay valid). Meant for
+    /// test and benchmark isolation, not for concurrent hot-path use.
+    pub fn reset(&self) {
+        for &(_, c) in self.counters.lock().expect("registry poisoned").iter() {
+            c.reset();
+        }
+        for &(_, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            g.reset();
+        }
+        for &(_, h) in self.histograms.lock().expect("registry poisoned").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Returns a `&'static Counter` for `$name`, caching the registry lookup
+/// at the call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// Returns a `&'static Gauge` for `$name`, caching the registry lookup
+/// at the call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// Returns a `&'static Histogram` for `$name`, caching the registry
+/// lookup at the call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_by_name() {
+        let registry = Registry::default();
+        let a = registry.counter("test.a");
+        let b = registry.counter("test.a");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = Registry::default();
+        registry.counter("z.last").add(5);
+        registry.counter("a.first").add(1);
+        registry.gauge("queue.depth").set(-3);
+        registry.histogram("lat").record(7);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_owned(), 1), ("z.last".to_owned(), 5)]
+        );
+        assert_eq!(snap.gauges, vec![("queue.depth".to_owned(), -3)]);
+        assert_eq!(snap.histograms, vec![("lat".to_owned(), 1, 7, 7)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 3, "zeros and ones share bucket 0");
+        assert_eq!(buckets[1], 1, "3 lands in [2,4)");
+        assert_eq!(buckets[10], 1, "1024 lands in [1024,2048)");
+        assert_eq!(buckets[Histogram::BUCKETS - 1], 1, "overflow clamps");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let registry = Registry::default();
+        let c = registry.counter("reset.c");
+        c.add(9);
+        registry.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(
+            registry.snapshot().counters,
+            vec![("reset.c".to_owned(), 1)]
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! The schema-versioned trace records emitted to sinks.
+//!
+//! Every record serializes to one JSON object with `schema` and `kind`
+//! discriminator fields, so a JSONL trace is self-describing and older
+//! readers can skip kinds they do not know.
+
+use crate::json::{int, num, str, Json};
+use crate::wear::WearSnapshot;
+use crate::MetricsSnapshot;
+use crate::SCHEMA_VERSION;
+
+/// Per-scheme end-of-run summary, the unit `twl-stats` tabulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeSummary {
+    /// Wear-leveling scheme label (e.g. `twl-swp`).
+    pub scheme: String,
+    /// Workload or attack label the scheme ran under.
+    pub workload: String,
+    /// Logical writes issued by the workload.
+    pub logical_writes: u64,
+    /// Physical writes absorbed by the device.
+    pub device_writes: u64,
+    /// Swaps performed by the scheme.
+    pub swaps: u64,
+    /// Swaps per logical write.
+    pub swap_per_write: f64,
+    /// Extra device writes per logical write.
+    pub extra_write_ratio: f64,
+    /// Attack-monitor alarm rate (alarmed windows / windows; 0 when no
+    /// monitor ran).
+    pub alarm_rate: f64,
+    /// Fraction of mean endurance consumed when the run ended.
+    pub capacity_fraction: f64,
+    /// Projected lifetime in years.
+    pub years: f64,
+    /// Gini coefficient of the final wear map.
+    pub wear_gini: f64,
+    /// Whether the run ran to an actual page wear-out (`false` = the
+    /// write budget ran out first, so lifetime numbers are lower
+    /// bounds).
+    pub completed: bool,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryRecord {
+    /// Run header: which tool produced the trace and its device shape.
+    RunStart {
+        /// Producing binary (e.g. `fig8_lifetime`).
+        tool: String,
+        /// Pages in the simulated device.
+        pages: u64,
+        /// Mean cell endurance.
+        mean_endurance: u64,
+        /// RNG seed of the run.
+        seed: u64,
+    },
+    /// End-of-run summary for one (scheme, workload) cell.
+    Summary(SchemeSummary),
+    /// A sampled wear-map snapshot.
+    Wear {
+        /// Scheme the snapshot belongs to.
+        scheme: String,
+        /// Workload or attack label.
+        workload: String,
+        /// The captured sample.
+        snapshot: WearSnapshot,
+    },
+    /// Attack-monitor alarm: a window closed over threshold.
+    Alarm {
+        /// Scheme under which the alarm fired.
+        scheme: String,
+        /// Index of the alarmed window.
+        window: u64,
+        /// Heavy-hitter share that tripped the threshold.
+        share: f64,
+    },
+    /// A dump of the global metrics registry.
+    Counters(MetricsSnapshot),
+}
+
+impl TelemetryRecord {
+    /// The record's `kind` discriminator.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::RunStart { .. } => "run_start",
+            Self::Summary(_) => "scheme_summary",
+            Self::Wear { .. } => "wear_snapshot",
+            Self::Alarm { .. } => "alarm",
+            Self::Counters(_) => "counters",
+        }
+    }
+
+    /// Serializes to a JSON object carrying `schema` and `kind`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = match self {
+            Self::RunStart {
+                tool,
+                pages,
+                mean_endurance,
+                seed,
+            } => Json::obj([
+                ("tool", str(tool)),
+                ("pages", int(*pages)),
+                ("mean_endurance", int(*mean_endurance)),
+                ("seed", int(*seed)),
+            ]),
+            Self::Summary(s) => Json::obj([
+                ("scheme", str(&s.scheme)),
+                ("workload", str(&s.workload)),
+                ("logical_writes", int(s.logical_writes)),
+                ("device_writes", int(s.device_writes)),
+                ("swaps", int(s.swaps)),
+                ("swap_per_write", num(s.swap_per_write)),
+                ("extra_write_ratio", num(s.extra_write_ratio)),
+                ("alarm_rate", num(s.alarm_rate)),
+                ("capacity_fraction", num(s.capacity_fraction)),
+                ("years", num(s.years)),
+                ("wear_gini", num(s.wear_gini)),
+                ("completed", Json::Bool(s.completed)),
+            ]),
+            Self::Wear {
+                scheme,
+                workload,
+                snapshot,
+            } => Json::obj([
+                ("scheme", str(scheme)),
+                ("workload", str(workload)),
+                ("seq", int(snapshot.seq)),
+                ("at_writes", int(snapshot.at_writes)),
+                ("pages", int(snapshot.summary.pages)),
+                ("total", int(snapshot.summary.total)),
+                ("mean", num(snapshot.summary.mean)),
+                ("cov", num(snapshot.summary.cov)),
+                ("gini", num(snapshot.summary.gini)),
+                ("p50", int(snapshot.summary.p50)),
+                ("p90", int(snapshot.summary.p90)),
+                ("p99", int(snapshot.summary.p99)),
+                ("max", int(snapshot.summary.max)),
+                (
+                    "histogram",
+                    Json::Arr(snapshot.summary.histogram.iter().map(|&b| int(b)).collect()),
+                ),
+            ]),
+            Self::Alarm {
+                scheme,
+                window,
+                share,
+            } => Json::obj([
+                ("scheme", str(scheme)),
+                ("window", int(*window)),
+                ("share", num(*share)),
+            ]),
+            Self::Counters(snap) => {
+                let counters = Json::Obj(
+                    snap.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), int(*v)))
+                        .collect(),
+                );
+                let gauges = Json::Obj(
+                    snap.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Int(i128::from(*v))))
+                        .collect(),
+                );
+                let histograms = Json::Obj(
+                    snap.histograms
+                        .iter()
+                        .map(|(n, count, sum, max)| {
+                            (
+                                n.clone(),
+                                Json::obj([
+                                    ("count", int(*count)),
+                                    ("sum", int(*sum)),
+                                    ("max", int(*max)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                );
+                Json::obj([
+                    ("counters", counters),
+                    ("gauges", gauges),
+                    ("histograms", histograms),
+                ])
+            }
+        };
+        if let Json::Obj(map) = &mut obj {
+            map.insert("schema".to_owned(), str(SCHEMA_VERSION));
+            map.insert("kind".to_owned(), str(self.kind()));
+        }
+        obj
+    }
+
+    /// Serializes to one compact JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Deserializes a record previously produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the schema or kind is unknown or a
+    /// required field is missing/mistyped.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let schema = value
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing `schema` field")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema `{schema}` (reader speaks `{SCHEMA_VERSION}`)"
+            ));
+        }
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing `kind` field")?;
+        let get_u64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer `{key}` in `{kind}` record"))
+        };
+        let get_f64 = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number `{key}` in `{kind}` record"))
+        };
+        let get_str = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string `{key}` in `{kind}` record"))
+        };
+        match kind {
+            "run_start" => Ok(Self::RunStart {
+                tool: get_str("tool")?,
+                pages: get_u64("pages")?,
+                mean_endurance: get_u64("mean_endurance")?,
+                seed: get_u64("seed")?,
+            }),
+            "scheme_summary" => Ok(Self::Summary(SchemeSummary {
+                scheme: get_str("scheme")?,
+                workload: get_str("workload")?,
+                logical_writes: get_u64("logical_writes")?,
+                device_writes: get_u64("device_writes")?,
+                swaps: get_u64("swaps")?,
+                swap_per_write: get_f64("swap_per_write")?,
+                extra_write_ratio: get_f64("extra_write_ratio")?,
+                alarm_rate: get_f64("alarm_rate")?,
+                capacity_fraction: get_f64("capacity_fraction")?,
+                years: get_f64("years")?,
+                wear_gini: get_f64("wear_gini")?,
+                completed: matches!(value.get("completed"), Some(Json::Bool(true))),
+            })),
+            "wear_snapshot" => Ok(Self::Wear {
+                scheme: get_str("scheme")?,
+                workload: get_str("workload")?,
+                snapshot: WearSnapshot {
+                    seq: get_u64("seq")?,
+                    at_writes: get_u64("at_writes")?,
+                    summary: crate::wear::WearSummary {
+                        pages: get_u64("pages")?,
+                        total: get_u64("total")?,
+                        mean: get_f64("mean")?,
+                        cov: get_f64("cov")?,
+                        gini: get_f64("gini")?,
+                        p50: get_u64("p50")?,
+                        p90: get_u64("p90")?,
+                        p99: get_u64("p99")?,
+                        max: get_u64("max")?,
+                        histogram: value
+                            .get("histogram")
+                            .and_then(Json::as_arr)
+                            .map(|items| items.iter().filter_map(Json::as_u64).collect())
+                            .unwrap_or_default(),
+                    },
+                },
+            }),
+            "alarm" => Ok(Self::Alarm {
+                scheme: get_str("scheme")?,
+                window: get_u64("window")?,
+                share: get_f64("share")?,
+            }),
+            "counters" => {
+                let mut snap = MetricsSnapshot::default();
+                if let Some(Json::Obj(map)) = value.get("counters") {
+                    for (n, v) in map {
+                        if let Some(v) = v.as_u64() {
+                            snap.counters.push((n.clone(), v));
+                        }
+                    }
+                }
+                if let Some(Json::Obj(map)) = value.get("gauges") {
+                    for (n, v) in map {
+                        if let Json::Int(i) = v {
+                            if let Ok(i) = i64::try_from(*i) {
+                                snap.gauges.push((n.clone(), i));
+                            }
+                        }
+                    }
+                }
+                if let Some(Json::Obj(map)) = value.get("histograms") {
+                    for (n, v) in map {
+                        let field = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+                        snap.histograms.push((
+                            n.clone(),
+                            field("count"),
+                            field("sum"),
+                            field("max"),
+                        ));
+                    }
+                }
+                Ok(Self::Counters(snap))
+            }
+            other => Err(format!("unknown record kind `{other}`")),
+        }
+    }
+
+    /// Parses one JSONL line into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the JSON or schema error.
+    pub fn from_jsonl(line: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(line)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wear::WearSummary;
+
+    fn sample_summary() -> SchemeSummary {
+        SchemeSummary {
+            scheme: "twl-swp".to_owned(),
+            workload: "bday-par".to_owned(),
+            logical_writes: 1_000_000,
+            device_writes: 1_025_000,
+            swaps: 12_500,
+            swap_per_write: 0.0125,
+            extra_write_ratio: 0.025,
+            alarm_rate: 0.75,
+            capacity_fraction: 0.93,
+            years: 6.2,
+            wear_gini: 0.018,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn summary_roundtrips() {
+        let record = TelemetryRecord::Summary(sample_summary());
+        let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn wear_snapshot_roundtrips() {
+        let record = TelemetryRecord::Wear {
+            scheme: "sr".to_owned(),
+            workload: "uniform".to_owned(),
+            snapshot: WearSnapshot {
+                seq: 3,
+                at_writes: 4_000_000,
+                summary: WearSummary::from_counts(&[1, 2, 3, 4, 1000]),
+            },
+        };
+        let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn counters_roundtrip() {
+        let record = TelemetryRecord::Counters(MetricsSnapshot {
+            counters: vec![("twl.core.writes".to_owned(), u64::MAX)],
+            gauges: vec![("q.depth".to_owned(), -5)],
+            histograms: vec![("lat".to_owned(), 10, 1000, 400)],
+        });
+        let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn alien_schema_is_rejected() {
+        let line =
+            r#"{"schema":"twl-telemetry/v999","kind":"alarm","scheme":"x","window":1,"share":0.5}"#;
+        assert!(TelemetryRecord::from_jsonl(line).is_err());
+    }
+
+    #[test]
+    fn every_record_carries_schema_and_kind() {
+        let record = TelemetryRecord::RunStart {
+            tool: "fig8_lifetime".to_owned(),
+            pages: 65536,
+            mean_endurance: 100_000_000,
+            seed: 42,
+        };
+        let json = record.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some(crate::SCHEMA_VERSION)
+        );
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("run_start"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Record sinks and the global emission pipeline.
+//!
+//! [`emit`] fans a [`TelemetryRecord`] out to every installed [`Sink`].
+//! The fast path — no sink installed, or telemetry disabled — is a single
+//! relaxed atomic load, so instrumented hot loops pay nothing measurable
+//! when tracing is off.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::record::TelemetryRecord;
+
+/// A destination for trace records.
+pub trait Sink: Send {
+    /// Consumes one record.
+    fn record(&mut self, record: &TelemetryRecord);
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, if any.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects records in memory; meant for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<TelemetryRecord>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to the record buffer; stays readable after the
+    /// sink itself is installed into the global pipeline.
+    #[must_use]
+    pub fn handle(&self) -> Arc<Mutex<Vec<TelemetryRecord>>> {
+        Arc::clone(&self.records)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, record: &TelemetryRecord) {
+        self.records
+            .lock()
+            .expect("memory sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// Appends records as compact JSONL lines to a buffered file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, record: &TelemetryRecord) {
+        // A failed trace write must not kill a multi-hour simulation;
+        // drop the record instead.
+        let _ = writeln!(self.writer, "{}", record.to_jsonl());
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+struct Pipeline {
+    enabled: AtomicBool,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| Pipeline {
+        enabled: AtomicBool::new(false),
+        sinks: Mutex::new(Vec::new()),
+    })
+}
+
+/// Installs a sink; emission turns on automatically.
+pub fn install_sink(sink: impl Sink + 'static) {
+    let p = pipeline();
+    p.sinks
+        .lock()
+        .expect("sink table poisoned")
+        .push(Box::new(sink));
+    p.enabled.store(true, Ordering::Release);
+}
+
+/// Flushes and removes every installed sink; emission turns off.
+pub fn clear_sinks() {
+    let p = pipeline();
+    p.enabled.store(false, Ordering::Release);
+    let mut sinks = p.sinks.lock().expect("sink table poisoned");
+    for sink in sinks.iter_mut() {
+        let _ = sink.flush();
+    }
+    sinks.clear();
+}
+
+/// Master emission switch: overrides without touching installed sinks.
+pub fn set_enabled(on: bool) {
+    let p = pipeline();
+    let has_sinks = !p.sinks.lock().expect("sink table poisoned").is_empty();
+    p.enabled.store(on && has_sinks, Ordering::Release);
+}
+
+/// Whether records currently reach any sink.
+#[must_use]
+pub fn enabled() -> bool {
+    pipeline().enabled.load(Ordering::Relaxed)
+}
+
+/// Sends a record to every installed sink. One relaxed load when
+/// emission is off.
+pub fn emit(record: &TelemetryRecord) {
+    let p = pipeline();
+    if !p.enabled.load(Ordering::Relaxed) {
+        return;
+    }
+    for sink in p.sinks.lock().expect("sink table poisoned").iter_mut() {
+        sink.record(record);
+    }
+}
+
+/// Flushes all installed sinks without removing them.
+pub fn flush_sinks() {
+    for sink in pipeline()
+        .sinks
+        .lock()
+        .expect("sink table poisoned")
+        .iter_mut()
+    {
+        let _ = sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alarm(window: u64) -> TelemetryRecord {
+        TelemetryRecord::Alarm {
+            scheme: "twl".to_owned(),
+            window,
+            share: 0.9,
+        }
+    }
+
+    // One test drives the whole global pipeline: tests in this binary run
+    // in parallel, and the pipeline is process-global state.
+    #[test]
+    fn pipeline_fans_out_and_honours_switch() {
+        assert!(!enabled(), "emission starts off");
+        emit(&alarm(0)); // goes nowhere, must not panic
+
+        let sink = MemorySink::new();
+        let records = sink.handle();
+        install_sink(sink);
+        assert!(enabled(), "installing a sink enables emission");
+
+        emit(&alarm(1));
+        set_enabled(false);
+        emit(&alarm(2)); // suppressed
+        set_enabled(true);
+        emit(&alarm(3));
+
+        clear_sinks();
+        assert!(!enabled());
+        emit(&alarm(4)); // suppressed, sink already removed
+
+        let seen: Vec<u64> = records
+            .lock()
+            .expect("buffer")
+            .iter()
+            .map(|r| match r {
+                TelemetryRecord::Alarm { window, .. } => *window,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(seen, vec![1, 3]);
+
+        // set_enabled(true) with no sinks installed stays off.
+        set_enabled(true);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("twl-telemetry-test");
+        let path = dir.join("trace.jsonl");
+        let mut sink = JsonlSink::create(&path).expect("create trace");
+        sink.record(&alarm(7));
+        sink.flush().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let record = TelemetryRecord::from_jsonl(text.trim()).expect("parse line");
+        assert_eq!(record, alarm(7));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -155,6 +155,7 @@ pub struct AttackMonitor {
     under_attack: bool,
     alarms: u64,
     windows: u64,
+    last_share: f64,
 }
 
 impl AttackMonitor {
@@ -180,6 +181,7 @@ impl AttackMonitor {
             under_attack: false,
             alarms: 0,
             windows: 0,
+            last_share: 0.0,
         }
     }
 
@@ -201,9 +203,12 @@ impl AttackMonitor {
         self.windows += 1;
         self.seen_in_window = 0;
         let share = self.sketch.tracked_share();
+        self.last_share = share;
         self.under_attack = share >= self.threshold_share;
+        twl_telemetry::counter!("twl.wl.monitor.windows").inc();
         if self.under_attack {
             self.alarms += 1;
+            twl_telemetry::counter!("twl.wl.monitor.alarms").inc();
         }
         self.sketch.clear();
         self.under_attack
@@ -213,6 +218,13 @@ impl AttackMonitor {
     #[must_use]
     pub fn under_attack(&self) -> bool {
         self.under_attack
+    }
+
+    /// Heavy-hitter share measured when the most recent window closed
+    /// (0.0 before the first window completes).
+    #[must_use]
+    pub fn last_window_share(&self) -> f64 {
+        self.last_share
     }
 
     /// Windows that raised the alarm.

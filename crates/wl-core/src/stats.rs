@@ -65,12 +65,17 @@ impl WlStats {
     }
 
     /// Fraction of device writes that are overhead.
+    ///
+    /// Saturates at 0.0 when `device_writes < logical_writes` (possible
+    /// for hand-built stats or partially recorded outcomes) rather than
+    /// wrapping the subtraction.
     #[must_use]
     pub fn extra_write_ratio(&self) -> f64 {
         if self.logical_writes == 0 {
             0.0
         } else {
-            (self.device_writes - self.logical_writes) as f64 / self.logical_writes as f64
+            self.device_writes.saturating_sub(self.logical_writes) as f64
+                / self.logical_writes as f64
         }
     }
 }
@@ -104,6 +109,25 @@ mod tests {
     fn empty_stats_have_zero_ratios() {
         let stats = WlStats::new();
         assert_eq!(stats.swap_per_write(), 0.0);
+        assert_eq!(stats.extra_write_ratio(), 0.0);
+    }
+
+    #[test]
+    fn zero_write_ratios_are_finite_not_nan() {
+        let stats = WlStats::new();
+        assert!(stats.swap_per_write().is_finite());
+        assert!(stats.extra_write_ratio().is_finite());
+    }
+
+    #[test]
+    fn extra_write_ratio_saturates_below_parity() {
+        // device_writes < logical_writes must clamp to 0.0, not wrap to
+        // a huge u64 difference.
+        let stats = WlStats {
+            logical_writes: 10,
+            device_writes: 7,
+            ..WlStats::default()
+        };
         assert_eq!(stats.extra_write_ratio(), 0.0);
     }
 }

@@ -21,6 +21,7 @@
 //! | [`workloads`] | `twl-workloads` | PARSEC-like synthetic traces |
 //! | [`memctrl`] | `twl-memctrl` | Memory-controller timing model |
 //! | [`lifetime`] | `twl-lifetime` | Lifetime simulation & calibration |
+//! | [`telemetry`] | `twl-telemetry` | Metrics, wear sampling, JSONL traces |
 //!
 //! ## Quickstart
 //!
@@ -47,5 +48,6 @@ pub use twl_lifetime as lifetime;
 pub use twl_memctrl as memctrl;
 pub use twl_pcm as pcm;
 pub use twl_rng as rng;
+pub use twl_telemetry as telemetry;
 pub use twl_wl_core as wl;
 pub use twl_workloads as workloads;

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API slice `twl-bench`'s micro benchmarks use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], `criterion_group!` / `criterion_main!` —
+//! backed by a simple wall-clock harness: each benchmark is warmed up,
+//! then timed over enough iterations to fill a fixed measurement window,
+//! and the mean ns/iter is printed. Under `cargo test` (which invokes
+//! bench binaries with `--test`) every benchmark runs exactly once as a
+//! smoke test, as the real criterion does.
+
+use std::time::{Duration, Instant};
+
+const WARM_UP: Duration = Duration::from_millis(80);
+const MEASURE: Duration = Duration::from_millis(320);
+
+/// How batched inputs are sized (accepted for API parity; the harness
+/// always runs one setup per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine invocation.
+    PerIteration,
+}
+
+/// Units-of-work declaration used to annotate throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (`--test` runs each
+    /// benchmark once; a bare string filters benchmarks by substring).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        Self { test_mode, filter }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_owned(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let test_mode = self.test_mode;
+        if self.matches(name) {
+            run_benchmark(name, None, test_mode, f);
+        }
+        self
+    }
+
+    /// Prints the trailing summary line.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("benchmarks complete");
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares units of work per routine call for ns/unit reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.throughput, self.criterion.test_mode, f);
+        }
+        self
+    }
+
+    /// Ends the group (statistics are per-benchmark, so this only exists
+    /// for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            println!("{name}: {:.1} ns/iter ({:.1} ns/elem)", ns, ns / n as f64);
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            println!("{name}: {:.1} ns/iter ({:.1} ns/byte)", ns, ns / n as f64);
+        }
+        _ => println!("{name}: {ns:.1} ns/iter"),
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        let warm_end = Instant::now() + WARM_UP;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+        let warm_end = Instant::now() + WARM_UP;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

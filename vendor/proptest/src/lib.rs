@@ -1,0 +1,113 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate
+//! re-implements the slice of proptest's API the workspace uses: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with ranges / tuples /
+//! `any` / `Just` / `prop_map` / `prop_oneof!`, [`collection::vec`], the
+//! `prop_assert*` macros, and [`test_runner::ProptestConfig`].
+//!
+//! Semantics are deliberately simple: each property runs for
+//! `ProptestConfig::cases` deterministic pseudo-random cases (seeded from
+//! the property's name, so failures reproduce across runs). There is no
+//! shrinking — a failing case panics with the values that produced it
+//! still visible in the assertion message.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supports the same shape the real crate does for the workspace's
+/// tests: an optional `#![proptest_config(..)]` header followed by any
+/// number of `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::strategy::TestRng::from_name(stringify!($name));
+            let mut __executed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Cap total attempts so a property that rejects almost every
+            // input terminates instead of spinning.
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            while __executed < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if __outcome.is_ok() {
+                    __executed += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Rejects the current case (it is skipped, not failed) when the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Picks uniformly between the given strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::OneOf::new(__arms)
+    }};
+}

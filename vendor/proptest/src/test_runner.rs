@@ -1,0 +1,27 @@
+//! Runner configuration and control-flow types.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// The real crate's default of 256 cases.
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case is rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;

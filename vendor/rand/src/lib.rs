@@ -1,0 +1,35 @@
+//! Offline stand-in for `rand`.
+//!
+//! `twl-rng` implements [`RngCore`] for its generators so they compose
+//! with the wider rand ecosystem; in this offline build environment the
+//! trait itself is all that is needed, so this crate carries a
+//! signature-compatible definition and nothing else.
+
+use std::fmt;
+
+/// Signature-compatible subset of `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest`, reporting failure through `Err` (infallible here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Signature-compatible stand-in for `rand::Error`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}

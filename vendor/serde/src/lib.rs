@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! just enough of serde's public surface for the workspace to compile:
+//! the `Serialize` / `Deserialize` trait *names* and the matching derive
+//! macros (which expand to nothing — see `serde_derive`). No code in the
+//! workspace bounds on these traits; structured export is handled by
+//! `twl-telemetry`'s own JSONL writer.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Name-compatible marker for serde's `Serialize` trait.
+pub trait Serialize {}
+
+/// Name-compatible marker for serde's `Deserialize` trait.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, and nothing in the
+//! workspace ever serializes through serde's trait machinery — the
+//! `#[derive(Serialize, Deserialize)]` attributes only exist so the types
+//! stay source-compatible with the real serde. The derives therefore
+//! expand to nothing at all; JSON export in this workspace goes through
+//! `twl-telemetry`'s hand-rolled writer instead.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
