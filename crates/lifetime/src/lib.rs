@@ -9,8 +9,16 @@
 //! calibrated years comparable with the paper's figures.
 //!
 //! * [`SchemeKind`] / [`build_scheme`] — a factory over every scheme in
-//!   the workspace, so sweeps can be written as data.
-//! * [`run_attack`] / [`run_workload`] — the simulation loops.
+//!   the workspace, so sweeps can be written as data
+//!   ([`build_scheme_for_region`] scopes a scheme to the data region of
+//!   a spare-augmented device).
+//! * [`run_attack`] / [`run_workload`] — the fail-stop simulation loops.
+//! * [`run_degradation_attack`] / [`run_degradation_workload`] — the
+//!   graceful-degradation loops over a `twl_faults::FaultDomain`: cell
+//!   faults are corrected within the ECP/SAFER budget, uncorrectable
+//!   pages retire to spares, and the run ends at spare-pool exhaustion
+//!   with a full [`DegradationReport`] curve instead of a single
+//!   failure point.
 //! * [`LifetimeReport`] — writes survived, fraction of ideal capacity,
 //!   calibrated years.
 //! * [`Calibration`] — the years conversion (see `DESIGN.md` §3): the
@@ -47,7 +55,9 @@ mod sim;
 mod sweep;
 
 pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
-pub use report::LifetimeReport;
-pub use scheme::{build_scheme, SchemeKind};
-pub use sim::{run_attack, run_workload, SimLimits};
-pub use sweep::{attack_matrix, gmean_years, workload_matrix};
+pub use report::{DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
+pub use scheme::{build_scheme, build_scheme_for_region, SchemeKind};
+pub use sim::{
+    run_attack, run_degradation_attack, run_degradation_workload, run_workload, SimLimits,
+};
+pub use sweep::{attack_matrix, degradation_matrix, gmean_years, workload_matrix};

@@ -69,7 +69,35 @@ pub fn build_scheme(
     kind: SchemeKind,
     device: &PcmDevice,
 ) -> Result<Box<dyn WearLeveler>, Box<dyn Error + Send + Sync>> {
-    let pages = device.page_count();
+    build_scheme_for_region(kind, device, device.page_count())
+}
+
+/// Builds a scheme over only the first `pages` slots of `device`.
+///
+/// This is how schemes run on a spare-augmented device
+/// (`twl_faults::provision`): the scheme addresses the data region and
+/// never sees the spare tail. Endurance-aware schemes (the TWL
+/// variants) get the truncated endurance map, which is identical to
+/// what a `pages`-page device with the same seed would draw.
+///
+/// # Errors
+///
+/// Returns an error if the region geometry is incompatible with the
+/// scheme (e.g. a non-power-of-two page count for Security Refresh).
+///
+/// # Panics
+///
+/// Panics if `pages` is zero or exceeds the device's page count.
+pub fn build_scheme_for_region(
+    kind: SchemeKind,
+    device: &PcmDevice,
+    pages: u64,
+) -> Result<Box<dyn WearLeveler>, Box<dyn Error + Send + Sync>> {
+    assert!(
+        pages > 0 && pages <= device.page_count(),
+        "scheme region of {pages} pages outside a {}-page device",
+        device.page_count()
+    );
     Ok(match kind {
         SchemeKind::Nowl => Box::new(Nowl::new(pages)),
         SchemeKind::Sr => Box::new(SecurityRefresh::new(
@@ -81,11 +109,11 @@ pub fn build_scheme(
         SchemeKind::StartGap => Box::new(StartGap::new(&StartGapConfig::default(), pages)),
         SchemeKind::TwlSwp => Box::new(TossUpWearLeveling::new(
             &TwlConfig::dac17(),
-            device.endurance_map(),
+            &device.endurance_map().truncated(pages as usize),
         )),
         SchemeKind::TwlAp => Box::new(TossUpWearLeveling::new(
             &TwlConfig::dac17_adjacent(),
-            device.endurance_map(),
+            &device.endurance_map().truncated(pages as usize),
         )),
     })
 }
@@ -125,6 +153,27 @@ mod tests {
             .build()
             .unwrap();
         let device = PcmDevice::new(&pcm);
+        assert!(build_scheme(SchemeKind::Sr, &device).is_err());
+    }
+
+    #[test]
+    fn region_schemes_ignore_the_spare_tail() {
+        // A 256+spare device: schemes built for the 256-page region
+        // must report exactly 256 pages and (for TWL) use the same
+        // endurance data a plain 256-page device would.
+        let pcm = PcmConfig::builder()
+            .pages(272)
+            .mean_endurance(10_000)
+            .seed(3)
+            .build()
+            .unwrap();
+        let device = PcmDevice::new(&pcm);
+        for kind in [SchemeKind::Sr, SchemeKind::TwlSwp, SchemeKind::Nowl] {
+            let scheme = build_scheme_for_region(kind, &device, 256).unwrap();
+            assert_eq!(scheme.page_count(), 256, "kind {kind}");
+        }
+        // SR rejects the non-power-of-two full device but accepts the
+        // power-of-two region.
         assert!(build_scheme(SchemeKind::Sr, &device).is_err());
     }
 

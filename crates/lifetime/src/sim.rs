@@ -1,9 +1,23 @@
 //! The lifetime simulation loops.
+//!
+//! Two methodologies share one driver skeleton:
+//!
+//! * **Fail-stop** ([`run_attack`], [`run_workload`]) — the DAC'17
+//!   methodology: the run ends at the first
+//!   [`PcmError::PageWornOut`], producing a single-failure-point
+//!   [`LifetimeReport`].
+//! * **Graceful degradation** ([`run_degradation_attack`],
+//!   [`run_degradation_workload`]) — the device runs under
+//!   `twl-faults`: wear-out manifests as cell faults absorbed by the
+//!   correction budget, uncorrectable pages retire to spares, and the
+//!   run ends at spare-pool exhaustion, producing a full
+//!   [`DegradationReport`] curve.
 
-use crate::{Calibration, LifetimeReport};
+use crate::{Calibration, DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
 use serde::{Deserialize, Serialize};
 use twl_attacks::AttackStream;
-use twl_pcm::{PcmDevice, PcmError};
+use twl_faults::FaultDomain;
+use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError};
 use twl_telemetry::{SchemeSummary, TelemetryRecord, WearMapSampler};
 use twl_wl_core::{AttackMonitor, WearLeveler, WriteOutcome};
 use twl_workloads::SyntheticWorkload;
@@ -26,6 +40,26 @@ impl Default for SimLimits {
     }
 }
 
+/// The two write generators a lifetime run can consume, unified so the
+/// simulation loop exists exactly once.
+enum WriteSource<'a> {
+    /// Attack streams see each write's outcome — the timing side
+    /// channel of §3.2.
+    Attack(&'a mut dyn AttackStream),
+    /// Synthetic workloads ignore feedback (reads are skipped — they
+    /// neither wear the device nor influence wear-leveling state).
+    Workload(&'a mut SyntheticWorkload),
+}
+
+impl WriteSource<'_> {
+    fn next_write(&mut self, feedback: Option<&WriteOutcome>) -> LogicalPageAddr {
+        match self {
+            Self::Attack(attack) => attack.next_write(feedback),
+            Self::Workload(workload) => workload.next_write_la(),
+        }
+    }
+}
+
 /// Drives `attack` against `scheme` on `device` until a page wears out.
 ///
 /// The attack receives each write's [`WriteOutcome`] as feedback — that
@@ -41,40 +75,18 @@ pub fn run_attack(
     calibration: &Calibration,
 ) -> LifetimeReport {
     let workload_name = attack.name().to_owned();
-    let mut telemetry = RunTelemetry::begin(scheme, device, &workload_name);
-    let mut feedback: Option<WriteOutcome> = None;
-    let mut logical_writes = 0u64;
-    let mut failure = None;
-    while logical_writes < limits.max_logical_writes {
-        let la = attack.next_write(feedback.as_ref());
-        match scheme.write(la, device) {
-            Ok(out) => {
-                logical_writes += 1;
-                telemetry.observe(la, &out, device);
-                feedback = Some(out);
-            }
-            Err(PcmError::PageWornOut { addr, .. }) => {
-                failure = Some(addr);
-                break;
-            }
-            Err(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
-        }
-    }
-    let alarm_rate = telemetry.end(device);
-    finish(
+    drive(
         scheme,
         device,
-        workload_name,
-        logical_writes,
-        failure,
+        WriteSource::Attack(attack),
+        &workload_name,
+        limits,
         calibration,
-        alarm_rate,
     )
 }
 
 /// Drives a synthetic workload's write stream against `scheme` until a
-/// page wears out (reads are skipped — they neither wear the device nor
-/// influence wear-leveling state).
+/// page wears out.
 ///
 /// The workload must generate addresses within `scheme.page_count()`.
 pub fn run_workload(
@@ -85,15 +97,37 @@ pub fn run_workload(
     limits: &SimLimits,
     calibration: &Calibration,
 ) -> LifetimeReport {
+    drive(
+        scheme,
+        device,
+        WriteSource::Workload(workload),
+        workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// The shared fail-stop loop: write until the first worn-out page or
+/// the write budget, whichever comes first.
+fn drive(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    mut source: WriteSource<'_>,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
     let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
+    let mut feedback: Option<WriteOutcome> = None;
     let mut logical_writes = 0u64;
     let mut failure = None;
     while logical_writes < limits.max_logical_writes {
-        let la = workload.next_write_la();
+        let la = source.next_write(feedback.as_ref());
         match scheme.write(la, device) {
             Ok(out) => {
                 logical_writes += 1;
                 telemetry.observe(la, &out, device);
+                feedback = Some(out);
             }
             Err(PcmError::PageWornOut { addr, .. }) => {
                 failure = Some(addr);
@@ -112,6 +146,165 @@ pub fn run_workload(
         calibration,
         alarm_rate,
     )
+}
+
+/// Drives `attack` against `scheme` on a fault-tolerant [`FaultDomain`]
+/// until the spare pool is exhausted (or the write budget runs out),
+/// recording the degradation curve.
+///
+/// The attack must generate addresses within `domain.data_pages`.
+pub fn run_degradation_attack(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    attack: &mut dyn AttackStream,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    let workload_name = attack.name().to_owned();
+    drive_degraded(
+        scheme,
+        domain,
+        WriteSource::Attack(attack),
+        &workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// Drives a synthetic workload against `scheme` on a fault-tolerant
+/// [`FaultDomain`] until the spare pool is exhausted (or the write
+/// budget runs out), recording the degradation curve.
+///
+/// The workload must generate addresses within `domain.data_pages`.
+pub fn run_degradation_workload(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    workload: &mut SyntheticWorkload,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    drive_degraded(
+        scheme,
+        domain,
+        WriteSource::Workload(workload),
+        workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// The shared graceful-degradation loop: after every serviced write the
+/// fault engine absorbs new cell faults; each retirement appends a
+/// curve point (and a `degradation_point` trace record), and
+/// [`PcmError::SparesExhausted`] ends the run.
+fn drive_degraded(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    mut source: WriteSource<'_>,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    let device = &mut domain.device;
+    let engine = &mut domain.engine;
+    let total_pages = domain.data_pages + domain.spare_pages;
+    let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
+    let mut feedback: Option<WriteOutcome> = None;
+    let mut logical_writes = 0u64;
+    let mut curve: Vec<DegradationPoint> = Vec::new();
+    let mut first_fault = None;
+    let mut first_retirement = None;
+    let mut spare_exhausted = None;
+    let mut end = DegradationEnd::WriteBudget;
+    while logical_writes < limits.max_logical_writes {
+        let la = source.next_write(feedback.as_ref());
+        match scheme.write(la, device) {
+            Ok(out) => {
+                logical_writes += 1;
+                telemetry.observe(la, &out, device);
+                feedback = Some(out);
+            }
+            // Unlimited wear policy: the device never fail-stops, so
+            // any error here is a simulation bug.
+            Err(e) => unreachable!("degradation sim hit a device error: {e}"),
+        }
+        match engine.absorb(device) {
+            Ok(absorbed) => {
+                if absorbed.corrected_now > 0 && first_fault.is_none() {
+                    first_fault = Some(device.total_writes());
+                }
+                if !absorbed.retirements.is_empty() {
+                    first_retirement.get_or_insert(device.total_writes());
+                    let point = DegradationPoint {
+                        logical_writes,
+                        device_writes: device.total_writes(),
+                        corrected_groups: engine.corrected_groups(),
+                        retired_pages: device.retired_pages(),
+                        spares_remaining: device.spares_remaining(),
+                    };
+                    curve.push(point);
+                    emit_degradation_point(scheme.name(), workload_name, &point, total_pages);
+                }
+            }
+            Err(PcmError::SparesExhausted { .. }) => {
+                spare_exhausted = Some(device.total_writes());
+                end = DegradationEnd::SpareExhausted;
+                break;
+            }
+            Err(e) => unreachable!("fault engine hit a non-spare device error: {e}"),
+        }
+    }
+    telemetry.end(device);
+    // Close the curve with the state at the end of the run.
+    let final_point = DegradationPoint {
+        logical_writes,
+        device_writes: device.total_writes(),
+        corrected_groups: engine.corrected_groups(),
+        retired_pages: device.retired_pages(),
+        spares_remaining: device.spares_remaining(),
+    };
+    if curve.last() != Some(&final_point) {
+        curve.push(final_point);
+        emit_degradation_point(scheme.name(), workload_name, &final_point, total_pages);
+    }
+    let capacity_fraction = device.total_writes() as f64 / device.endurance_map().total() as f64;
+    DegradationReport {
+        scheme: scheme.name().to_owned(),
+        workload: workload_name.to_owned(),
+        data_pages: domain.data_pages,
+        spare_pages: domain.spare_pages,
+        logical_writes,
+        device_writes: device.total_writes(),
+        corrected_groups: engine.corrected_groups(),
+        retired_pages: device.retired_pages(),
+        first_fault_device_writes: first_fault,
+        first_retirement_device_writes: first_retirement,
+        spare_exhausted_device_writes: spare_exhausted,
+        end,
+        capacity_fraction,
+        years: calibration.years(capacity_fraction),
+        wear_gini: device.wear_stats().wear_gini,
+        curve,
+    }
+}
+
+fn emit_degradation_point(
+    scheme: &str,
+    workload: &str,
+    point: &DegradationPoint,
+    total_pages: u64,
+) {
+    twl_telemetry::emit(&TelemetryRecord::Degradation {
+        scheme: scheme.to_owned(),
+        workload: workload.to_owned(),
+        at_logical_writes: point.logical_writes,
+        at_device_writes: point.device_writes,
+        corrected_groups: point.corrected_groups,
+        retired_pages: point.retired_pages,
+        spares_remaining: point.spares_remaining,
+        capacity_fraction: 1.0 - point.retired_pages as f64 / total_pages as f64,
+    });
 }
 
 /// Number of wear-map snapshots a full lifetime run aims for.
@@ -231,8 +424,9 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{build_scheme, SchemeKind};
+    use crate::{build_scheme, build_scheme_for_region, SchemeKind};
     use twl_attacks::{Attack, AttackKind};
+    use twl_faults::{provision, FaultConfig};
     use twl_pcm::PcmConfig;
     use twl_workloads::ParsecBenchmark;
 
@@ -338,5 +532,97 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.workload, "canneal");
         assert!(report.years > 0.0);
+    }
+
+    fn degradation_domain(pages: u64, endurance: u64) -> twl_faults::FaultDomain {
+        let pcm = PcmConfig::builder()
+            .pages(pages)
+            .mean_endurance(endurance)
+            .seed(13)
+            .build()
+            .unwrap();
+        provision(
+            &pcm,
+            &FaultConfig {
+                cell_groups_per_page: 8,
+                group_sigma_fraction: 0.15,
+                policy: twl_faults::CorrectionPolicy::Ecp { entries: 2 },
+                spare_fraction: 0.05,
+                seed: 99,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn degradation_run_outlives_failstop_and_builds_a_curve() {
+        // Fail-stop NOWL under repeat dies at the weakest page.
+        let mut dev = device(128, 1_000);
+        let mut scheme = build_scheme(SchemeKind::Nowl, &dev).unwrap();
+        let mut attack = Attack::new(AttackKind::Repeat, 128, 0);
+        let failstop = run_attack(
+            scheme.as_mut(),
+            &mut dev,
+            &mut attack,
+            &SimLimits::default(),
+            &Calibration::attack_8gbps(),
+        );
+
+        // The same scheme with fault tolerance keeps going through the
+        // correction budget and every spare.
+        let mut domain = degradation_domain(128, 1_000);
+        let mut scheme = build_scheme_for_region(SchemeKind::Nowl, &domain.device, 128).unwrap();
+        let mut attack = Attack::new(AttackKind::Repeat, 128, 0);
+        let report = run_degradation_attack(
+            scheme.as_mut(),
+            &mut domain,
+            &mut attack,
+            &SimLimits::default(),
+            &Calibration::attack_8gbps(),
+        );
+        assert_eq!(report.end, DegradationEnd::SpareExhausted);
+        assert!(report.device_writes > failstop.device_writes);
+        assert!(report.spare_exhausted_device_writes.is_some());
+        let first_fault = report.first_fault_device_writes.unwrap();
+        let first_retirement = report.first_retirement_device_writes.unwrap();
+        assert!(first_fault <= first_retirement);
+        assert!(first_retirement <= report.spare_exhausted_device_writes.unwrap());
+        // Every retirement consumes one spare, and the run ends on the
+        // first retirement the empty pool cannot serve.
+        assert_eq!(report.retired_pages, report.spare_pages);
+        assert!(!report.curve.is_empty());
+        // The curve is monotone in every dimension.
+        for w in report.curve.windows(2) {
+            assert!(w[0].device_writes <= w[1].device_writes);
+            assert!(w[0].corrected_groups <= w[1].corrected_groups);
+            assert!(w[0].retired_pages <= w[1].retired_pages);
+            assert!(w[0].spares_remaining >= w[1].spares_remaining);
+        }
+        assert!(report.surviving_capacity() < 1.0);
+        assert!(report.device_writes_to_capacity_loss(0.001).is_some());
+    }
+
+    #[test]
+    fn degradation_write_budget_flags_lower_bound() {
+        let mut domain = degradation_domain(128, 100_000);
+        let mut scheme = build_scheme_for_region(SchemeKind::TwlSwp, &domain.device, 128).unwrap();
+        let mut attack = Attack::new(AttackKind::Random, 128, 2);
+        let limits = SimLimits {
+            max_logical_writes: 2_000,
+        };
+        let report = run_degradation_attack(
+            scheme.as_mut(),
+            &mut domain,
+            &mut attack,
+            &limits,
+            &Calibration::attack_8gbps(),
+        );
+        assert_eq!(report.end, DegradationEnd::WriteBudget);
+        assert_eq!(report.logical_writes, 2_000);
+        assert!(report.spare_exhausted_device_writes.is_none());
+        assert_eq!(report.retired_pages, 0);
+        // The closing curve point is still present.
+        assert_eq!(report.curve.len(), 1);
+        assert_eq!(report.curve[0].spares_remaining, report.spare_pages);
     }
 }

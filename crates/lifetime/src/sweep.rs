@@ -5,9 +5,11 @@
 //! over these helpers; library users get the same sweeps as data.
 
 use crate::{
-    build_scheme, run_attack, run_workload, Calibration, LifetimeReport, SchemeKind, SimLimits,
+    build_scheme, build_scheme_for_region, run_attack, run_degradation_attack, run_workload,
+    Calibration, DegradationReport, LifetimeReport, SchemeKind, SimLimits,
 };
 use twl_attacks::{Attack, AttackKind};
+use twl_faults::{provision, FaultConfig};
 use twl_pcm::{PcmConfig, PcmDevice};
 use twl_workloads::ParsecBenchmark;
 
@@ -71,16 +73,51 @@ pub fn attack_matrix(
 /// cell owns its device and scheme, so the parallelism is trivially
 /// safe; the grid sizes here (tens of cells) match a workstation's
 /// cores well.
-fn run_cells<C: Sync>(
-    cells: &[C],
-    run: impl Fn(&C) -> LifetimeReport + Sync,
-) -> Vec<LifetimeReport> {
+fn run_cells<C: Sync, R: Send>(cells: &[C], run: impl Fn(&C) -> R + Sync) -> Vec<R> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = cells.iter().map(|cell| scope.spawn(|| run(cell))).collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep cell panicked"))
             .collect()
+    })
+}
+
+/// Runs every scheme against every attack on a fresh fault-tolerant
+/// domain (`pcm` data region + spares per `fault_cfg`), following each
+/// run through correction and retirement to spare-pool exhaustion.
+/// Reports come back in `schemes`-major order.
+///
+/// # Panics
+///
+/// Panics if the fault config is invalid or a scheme cannot be built
+/// for the data-region geometry.
+#[must_use]
+pub fn degradation_matrix(
+    pcm: &PcmConfig,
+    fault_cfg: &FaultConfig,
+    schemes: &[SchemeKind],
+    attacks: &[AttackKind],
+    limits: &SimLimits,
+) -> Vec<DegradationReport> {
+    let calibration = Calibration::attack_8gbps();
+    let cells: Vec<(SchemeKind, AttackKind)> = schemes
+        .iter()
+        .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
+        .collect();
+    run_cells(&cells, |&(kind, attack_kind)| {
+        let mut domain =
+            provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
+        let mut scheme = build_scheme_for_region(kind, &domain.device, domain.data_pages)
+            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+        let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+        run_degradation_attack(
+            scheme.as_mut(),
+            &mut domain,
+            &mut attack,
+            limits,
+            &calibration,
+        )
     })
 }
 
@@ -171,6 +208,33 @@ mod tests {
         // but streamcluster's years dwarf vips' because its bandwidth
         // is ~275x lower.
         assert!(reports[1].years > 20.0 * reports[0].years);
+    }
+
+    #[test]
+    fn degradation_matrix_runs_to_spare_exhaustion() {
+        let fault_cfg = FaultConfig {
+            cell_groups_per_page: 8,
+            group_sigma_fraction: 0.15,
+            policy: twl_faults::CorrectionPolicy::Ecp { entries: 2 },
+            spare_fraction: 0.05,
+            seed: 4,
+        };
+        let reports = degradation_matrix(
+            &pcm(),
+            &fault_cfg,
+            &[SchemeKind::Nowl, SchemeKind::TwlSwp],
+            &[AttackKind::Repeat],
+            &SimLimits::default(),
+        );
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.end, crate::DegradationEnd::SpareExhausted, "{}", r.scheme);
+            assert_eq!(r.data_pages, 128);
+            assert_eq!(r.retired_pages, r.spare_pages);
+            assert!(r.curve.len() >= 2);
+        }
+        // TWL spreads the attack, so it reaches spare exhaustion later.
+        assert!(reports[1].device_writes > reports[0].device_writes);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::{BankArray, MemCtrlConfig};
 use serde::{Deserialize, Serialize};
+use twl_faults::{FaultDomain, FaultEngine};
 use twl_pcm::{PcmDevice, PcmError};
 use twl_wl_core::WearLeveler;
 use twl_workloads::{MemCmd, MemOp};
@@ -129,6 +130,53 @@ pub fn queued_execution(
     workload: &mut dyn Iterator<Item = MemCmd>,
     requests: u64,
 ) -> Result<ControllerReport, PcmError> {
+    queued_execution_inner(timing, config, scheme, device, workload, requests, None)
+}
+
+/// [`queued_execution`] over a fault-tolerant [`FaultDomain`]: after
+/// every serviced write the domain's [`FaultEngine`] absorbs any new
+/// cell faults, retiring uncorrectable pages to the spare pool, so the
+/// controller keeps servicing requests across retirements with the
+/// timing model unchanged.
+///
+/// The scheme must have been built over the domain's data region (e.g.
+/// via `twl_lifetime::build_scheme_for_region`) so it never addresses
+/// the spare tail.
+///
+/// # Errors
+///
+/// Propagates device errors from the scheme, and
+/// [`PcmError::SparesExhausted`] once a retirement finds the spare pool
+/// empty — the device's true end of life. Counters accumulated up to
+/// that point (in the domain and in telemetry) remain valid.
+pub fn queued_execution_degraded(
+    timing: &MemCtrlConfig,
+    config: &ControllerConfig,
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    workload: &mut dyn Iterator<Item = MemCmd>,
+    requests: u64,
+) -> Result<ControllerReport, PcmError> {
+    queued_execution_inner(
+        timing,
+        config,
+        scheme,
+        &mut domain.device,
+        workload,
+        requests,
+        Some(&mut domain.engine),
+    )
+}
+
+fn queued_execution_inner(
+    timing: &MemCtrlConfig,
+    config: &ControllerConfig,
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    workload: &mut dyn Iterator<Item = MemCmd>,
+    requests: u64,
+    mut fault: Option<&mut FaultEngine>,
+) -> Result<ControllerReport, PcmError> {
     assert!(requests > 0, "simulate at least one request");
     config.validate();
     let device_timing = device.config().timing;
@@ -152,10 +200,17 @@ pub fn queued_execution(
                        now: f64,
                        banks: &mut BankArray,
                        scheme: &mut dyn WearLeveler,
-                       device: &mut PcmDevice|
+                       device: &mut PcmDevice,
+                       fault: &mut Option<&mut FaultEngine>|
      -> Result<f64, PcmError> {
         let (_, cmd) = entry;
         let out = scheme.write(cmd.la, device)?;
+        // Degraded mode: absorb the cell faults this write (and any
+        // migrations it triggered) may have tripped, retiring pages
+        // before the next request can touch them.
+        if let Some(engine) = fault.as_mut() {
+            engine.absorb(device)?;
+        }
         let mut t = now + out.engine_cycles as f64;
         if out.blocking_cycles > 0 {
             t = banks.occupy_all(t, out.blocking_cycles as f64 * timing.blocking_visibility);
@@ -181,7 +236,14 @@ pub fn queued_execution(
                     // arrival order — reads arriving later on the same
                     // bank queue behind 2000-cycle write pulses.
                     SchedulingPolicy::Fcfs => {
-                        let done = issue_write((clock, cmd), clock, &mut banks, scheme, device)?;
+                        let done = issue_write(
+                            (clock, cmd),
+                            clock,
+                            &mut banks,
+                            scheme,
+                            device,
+                            &mut fault,
+                        )?;
                         last_completion = last_completion.max(done);
                     }
                     // Read priority parks writes; the paced drain below
@@ -216,7 +278,8 @@ pub fn queued_execution(
                     let predicted = scheme.translate(write_q[i].1.la);
                     if banks.is_idle(predicted, clock) {
                         let entry = write_q.remove(i);
-                        let done = issue_write(entry, clock, &mut banks, scheme, device)?;
+                        let done =
+                            issue_write(entry, clock, &mut banks, scheme, device, &mut fault)?;
                         last_completion = last_completion.max(done);
                     } else {
                         i += 1;
@@ -231,7 +294,7 @@ pub fn queued_execution(
             if draining {
                 while write_q.len() > config.drain_low {
                     let entry = write_q.remove(0);
-                    let done = issue_write(entry, clock, &mut banks, scheme, device)?;
+                    let done = issue_write(entry, clock, &mut banks, scheme, device, &mut fault)?;
                     last_completion = last_completion.max(done);
                 }
                 draining = false;
@@ -242,7 +305,7 @@ pub fn queued_execution(
     let clock = arrival;
     while !write_q.is_empty() {
         let entry = write_q.remove(0);
-        let done = issue_write(entry, clock, &mut banks, scheme, device)?;
+        let done = issue_write(entry, clock, &mut banks, scheme, device, &mut fault)?;
         last_completion = last_completion.max(done);
     }
 
@@ -391,6 +454,57 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degraded_run_services_requests_across_retirements() {
+        use twl_faults::{provision, CorrectionPolicy, FaultConfig};
+
+        // Low endurance plus a tiny hammered footprint wears a few data
+        // pages past their correction budget mid-run; a generous spare
+        // pool keeps the controller short of exhaustion.
+        let pcm = PcmConfig::builder()
+            .pages(64)
+            .mean_endurance(1_000)
+            .seed(9)
+            .build()
+            .unwrap();
+        let fault_cfg = FaultConfig {
+            cell_groups_per_page: 8,
+            group_sigma_fraction: 0.1,
+            policy: CorrectionPolicy::Ecp { entries: 2 },
+            spare_fraction: 0.5,
+            seed: 21,
+        };
+        let mut domain = provision(&pcm, &fault_cfg).unwrap();
+        let mut scheme = Nowl::new(domain.data_pages);
+        let mut w = SyntheticWorkload::new(&WorkloadConfig {
+            pages: 64,
+            footprint: 4,
+            zipf_alpha: 0.9,
+            read_fraction: 0.0,
+            seed: 2,
+        });
+        let report = queued_execution_degraded(
+            &MemCtrlConfig::default(),
+            &ControllerConfig::nvmain_like(),
+            &mut scheme,
+            &mut domain,
+            &mut w,
+            6_000,
+        )
+        .unwrap();
+        assert_eq!(report.writes, 6_000, "every request must be serviced");
+        let retired = domain.device.retired_pages();
+        assert!(retired >= 1, "the hammered pages must retire mid-run");
+        assert_eq!(
+            domain.device.spares_remaining() + retired,
+            domain.spare_pages,
+            "every retirement consumes exactly one spare"
+        );
+        // NOWL issues one device write per logical write; the only
+        // overhead writes are the per-retirement migration copies.
+        assert_eq!(domain.device.total_writes(), report.writes + retired);
     }
 
     #[test]

@@ -50,5 +50,8 @@ mod sim;
 
 pub use bank::BankArray;
 pub use config::MemCtrlConfig;
-pub use controller::{queued_execution, ControllerConfig, ControllerReport, SchedulingPolicy};
+pub use controller::{
+    queued_execution, queued_execution_degraded, ControllerConfig, ControllerReport,
+    SchedulingPolicy,
+};
 pub use sim::{simulate_execution, simulate_execution_banked, PerfReport};

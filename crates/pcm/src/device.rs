@@ -1,12 +1,47 @@
-//! The PCM device: wear accounting and fail-stop pages.
+//! The PCM device: wear accounting, fail-stop pages, and the graceful-
+//! degradation substrate (redirects, spare pool, write log).
+//!
+//! Two wear regimes are supported, selected by [`WearPolicy`]:
+//!
+//! * [`WearPolicy::FailStop`] (the default, the DAC'17 methodology):
+//!   a page whose wear reaches its tested endurance permanently fails
+//!   its next write with [`PcmError::PageWornOut`].
+//! * [`WearPolicy::Unlimited`]: writes always land and wear keeps
+//!   counting past the tested endurance. This is the substrate for
+//!   cell-level fault modeling (`twl-faults`), where wear-out manifests
+//!   as progressive stuck-at cell-group faults absorbed by an ECP-style
+//!   corrector rather than a binary page death.
+//!
+//! For graceful degradation the device additionally separates *slots*
+//! (the stable addresses wear-leveling schemes manage) from *physical
+//! pages* (the frames that actually wear). Initially the mapping is the
+//! identity; [`PcmDevice::retire_page`] rebinds a slot to a page from
+//! the spare pool, so schemes keep issuing the same addresses while the
+//! device transparently serves them from healthy frames.
 
 use crate::{EnduranceMap, PcmConfig, PcmError, PhysicalPageAddr, WearStats};
 use serde::{Deserialize, Serialize};
+
+/// What happens when a page's wear reaches its tested endurance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WearPolicy {
+    /// Writes past the tested endurance fail with
+    /// [`PcmError::PageWornOut`] — the paper's first-wear-out lifetime
+    /// methodology.
+    #[default]
+    FailStop,
+    /// Writes always succeed and wear counts past the tested endurance;
+    /// failure semantics are delegated to a cell-level fault model
+    /// (see the `twl-faults` crate).
+    Unlimited,
+}
 
 /// A serializable checkpoint of a device's full wear state.
 ///
 /// Long lifetime simulations (10^8+ writes) can persist progress and
 /// resume later; a snapshot restores bit-identical device behaviour.
+/// The transient write log is *not* captured: a restored device starts
+/// with logging disabled and an empty log.
 ///
 /// # Examples
 ///
@@ -30,16 +65,24 @@ pub struct DeviceSnapshot {
     wear: Vec<u64>,
     total_writes: u64,
     first_failure: Option<PhysicalPageAddr>,
+    policy: WearPolicy,
+    forward: Vec<u64>,
+    back: Vec<u64>,
+    retired: Vec<bool>,
+    spares: Vec<u64>,
+    retired_count: u64,
 }
 
 /// A simulated PCM array with per-page wear accounting.
 ///
-/// Every write to a physical page increments that page's wear counter;
-/// when the counter reaches the page's (process-variation-drawn)
-/// endurance, the write fails with [`PcmError::PageWornOut`] and the page
-/// is permanently dead. The lifetime simulator treats the first such
-/// failure as end-of-life, matching the paper's methodology ("until a
-/// PCM page wears out", §5.1).
+/// Every write to a slot increments the backing physical page's wear
+/// counter; under the default [`WearPolicy::FailStop`], once the counter
+/// reaches the page's (process-variation-drawn) endurance the write
+/// fails with [`PcmError::PageWornOut`] and the page is permanently
+/// dead. The lifetime simulator treats the first such failure as
+/// end-of-life, matching the paper's methodology ("until a PCM page
+/// wears out", §5.1). Under [`WearPolicy::Unlimited`] the device defers
+/// end-of-life to the `twl-faults` cell-fault/retirement machinery.
 ///
 /// # Examples
 ///
@@ -62,6 +105,18 @@ pub struct PcmDevice {
     wear: Vec<u64>,
     total_writes: u64,
     first_failure: Option<PhysicalPageAddr>,
+    policy: WearPolicy,
+    /// Slot → physical page. Identity until retirements rebind slots.
+    forward: Vec<u64>,
+    /// Physical page → owning slot (inverse of `forward` on live pages).
+    back: Vec<u64>,
+    /// Physical pages permanently taken out of service.
+    retired: Vec<bool>,
+    /// Physical pages reserved as replacements, popped from the end.
+    spares: Vec<u64>,
+    retired_count: u64,
+    /// When `Some`, every physical page write is appended here.
+    write_log: Option<Vec<PhysicalPageAddr>>,
 }
 
 impl PcmDevice {
@@ -85,12 +140,20 @@ impl PcmDevice {
             config.pages,
             "endurance map size must match page count"
         );
+        let pages = endurance.len();
         Self {
             config: config.clone(),
-            wear: vec![0; endurance.len()],
+            wear: vec![0; pages],
             endurance,
             total_writes: 0,
             first_failure: None,
+            policy: WearPolicy::FailStop,
+            forward: (0..pages as u64).collect(),
+            back: (0..pages as u64).collect(),
+            retired: vec![false; pages],
+            spares: Vec::new(),
+            retired_count: 0,
+            write_log: None,
         }
     }
 
@@ -112,7 +175,132 @@ impl PcmDevice {
         self.config.pages
     }
 
-    /// Validates a physical address.
+    /// The active wear policy.
+    #[must_use]
+    pub fn wear_policy(&self) -> WearPolicy {
+        self.policy
+    }
+
+    /// Selects what happens when wear reaches the tested endurance.
+    pub fn set_wear_policy(&mut self, policy: WearPolicy) {
+        self.policy = policy;
+    }
+
+    /// Starts recording every physical page write into the write log.
+    ///
+    /// The log is how the `twl-faults` engine learns which pages changed
+    /// without scanning the whole wear map; drain it with
+    /// [`PcmDevice::drain_write_log`] after every serviced request.
+    pub fn enable_write_log(&mut self) {
+        if self.write_log.is_none() {
+            self.write_log = Some(Vec::new());
+        }
+    }
+
+    /// Moves all logged physical page writes into `out` (appending),
+    /// leaving the log empty. A no-op when logging is disabled.
+    pub fn drain_write_log(&mut self, out: &mut Vec<PhysicalPageAddr>) {
+        if let Some(log) = &mut self.write_log {
+            out.append(log);
+        }
+    }
+
+    /// Reserves `spares` physical pages as retirement replacements.
+    ///
+    /// Spare pages should not be addressed by wear-leveling schemes:
+    /// provision the device with `data_pages + spare_pages` pages and
+    /// build schemes over the data region only (see
+    /// `twl_faults::provision`). Replacements are handed out in the
+    /// order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spare is out of range or already retired.
+    pub fn set_spare_pool(&mut self, spares: Vec<PhysicalPageAddr>) {
+        for &pa in &spares {
+            assert!(
+                pa.index() < self.config.pages,
+                "spare {pa} outside the device"
+            );
+            assert!(!self.retired[pa.as_usize()], "spare {pa} already retired");
+        }
+        // Popped from the end, so store in reverse to hand out in order.
+        self.spares = spares.iter().rev().map(|pa| pa.index()).collect();
+    }
+
+    /// Spare pages still available for retirement remaps.
+    #[must_use]
+    pub fn spares_remaining(&self) -> u64 {
+        self.spares.len() as u64
+    }
+
+    /// Physical pages permanently retired so far.
+    #[must_use]
+    pub fn retired_pages(&self) -> u64 {
+        self.retired_count
+    }
+
+    /// Whether a *physical* page has been retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is out of range.
+    #[must_use]
+    pub fn is_retired(&self, phys: PhysicalPageAddr) -> bool {
+        self.retired[phys.as_usize()]
+    }
+
+    /// The physical page currently backing `slot`.
+    ///
+    /// Identity until a retirement rebinds the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn resolve(&self, slot: PhysicalPageAddr) -> PhysicalPageAddr {
+        PhysicalPageAddr::new(self.forward[slot.as_usize()])
+    }
+
+    /// The slot a live physical page currently serves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is out of range.
+    #[must_use]
+    pub fn owner_of(&self, phys: PhysicalPageAddr) -> PhysicalPageAddr {
+        PhysicalPageAddr::new(self.back[phys.as_usize()])
+    }
+
+    /// Retires the physical page currently backing `slot` and rebinds
+    /// the slot to a page from the spare pool.
+    ///
+    /// The slot's logical contents migrate with the rebind: the device
+    /// models the copy as one write to the replacement page (wear is
+    /// charged there and the write is logged), so schemes running above
+    /// observe nothing — the same slot address keeps working.
+    ///
+    /// # Errors
+    ///
+    /// * [`PcmError::AddrOutOfRange`] for an invalid slot.
+    /// * [`PcmError::SparesExhausted`] when the spare pool is empty —
+    ///   end of life under graceful degradation.
+    pub fn retire_page(&mut self, slot: PhysicalPageAddr) -> Result<PhysicalPageAddr, PcmError> {
+        self.check_addr(slot)?;
+        let Some(spare) = self.spares.pop() else {
+            return Err(PcmError::SparesExhausted { slot });
+        };
+        let old = self.forward[slot.as_usize()] as usize;
+        self.retired[old] = true;
+        self.retired_count += 1;
+        self.forward[slot.as_usize()] = spare;
+        self.back[spare as usize] = slot.index();
+        // Migrate the slot's contents onto the replacement.
+        self.account_write(spare as usize);
+        Ok(PhysicalPageAddr::new(spare))
+    }
+
+    /// Validates a slot/physical address.
     ///
     /// # Errors
     ///
@@ -129,28 +317,38 @@ impl PcmDevice {
         }
     }
 
-    /// Writes one page, accounting wear.
+    fn account_write(&mut self, phys: usize) {
+        self.wear[phys] += 1;
+        self.total_writes += 1;
+        if let Some(log) = &mut self.write_log {
+            log.push(PhysicalPageAddr::new(phys as u64));
+        }
+    }
+
+    /// Writes one page, accounting wear on the backing physical page.
     ///
     /// # Errors
     ///
     /// * [`PcmError::AddrOutOfRange`] for an invalid address.
-    /// * [`PcmError::PageWornOut`] when the page's endurance is already
-    ///   exhausted. The first failure is latched and reported by
-    ///   [`PcmDevice::first_failure`].
+    /// * [`PcmError::PageWornOut`] under [`WearPolicy::FailStop`] when
+    ///   the backing page's endurance is already exhausted. The first
+    ///   failure is latched and reported by [`PcmDevice::first_failure`].
+    ///   Under [`WearPolicy::Unlimited`] writes never fail this way.
     pub fn write_page(&mut self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
         self.check_addr(addr)?;
-        let i = addr.as_usize();
-        if self.wear[i] >= self.endurance.endurance(addr) {
+        let phys = self.forward[addr.as_usize()] as usize;
+        if self.policy == WearPolicy::FailStop
+            && self.wear[phys] >= self.endurance.endurance(PhysicalPageAddr::new(phys as u64))
+        {
             if self.first_failure.is_none() {
                 self.first_failure = Some(addr);
             }
             return Err(PcmError::PageWornOut {
                 addr,
-                writes: self.wear[i],
+                writes: self.wear[phys],
             });
         }
-        self.wear[i] += 1;
-        self.total_writes += 1;
+        self.account_write(phys);
         Ok(())
     }
 
@@ -163,27 +361,28 @@ impl PcmDevice {
         self.check_addr(addr)
     }
 
-    /// Wear (writes absorbed so far) of one page.
+    /// Wear (writes absorbed so far) of the physical page backing `addr`.
     ///
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
     #[must_use]
     pub fn wear(&self, addr: PhysicalPageAddr) -> u64 {
-        self.wear[addr.as_usize()]
+        self.wear[self.forward[addr.as_usize()] as usize]
     }
 
-    /// Tested endurance of one page.
+    /// Tested endurance of the physical page backing `addr`.
     ///
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
     #[must_use]
     pub fn endurance(&self, addr: PhysicalPageAddr) -> u64 {
-        self.endurance.endurance(addr)
+        self.endurance.endurance(self.resolve(addr))
     }
 
-    /// Remaining writes before the page dies.
+    /// Remaining writes before the page backing `addr` reaches its
+    /// tested endurance (saturating at 0 under [`WearPolicy::Unlimited`]).
     ///
     /// # Panics
     ///
@@ -193,7 +392,8 @@ impl PcmDevice {
         self.endurance(addr).saturating_sub(self.wear(addr))
     }
 
-    /// Whether the page has exhausted its endurance.
+    /// Whether the page backing `addr` has exhausted its tested
+    /// endurance.
     ///
     /// # Panics
     ///
@@ -209,17 +409,31 @@ impl PcmDevice {
         self.total_writes
     }
 
-    /// The first page that failed a write, if any.
+    /// The slot whose write first failed with
+    /// [`PcmError::PageWornOut`], if any.
+    ///
+    /// This latches the first *failing write* under
+    /// [`WearPolicy::FailStop`] — i.e. the paper's end-of-life event. It
+    /// is `None` while every write has succeeded, even if some page is
+    /// already at its endurance limit but has not been written since
+    /// (contrast [`PcmDevice::any_page_exhausted`]), and always `None`
+    /// under [`WearPolicy::Unlimited`], where wear-out is expressed as
+    /// cell faults instead of failed writes.
     #[must_use]
     pub fn first_failure(&self) -> Option<PhysicalPageAddr> {
         self.first_failure
     }
 
-    /// Whether any page would fail its next write.
+    /// Whether any physical page's wear has reached its tested
+    /// endurance — the page is *worn*.
     ///
-    /// Unlike [`PcmDevice::first_failure`], this scans live wear state,
-    /// so it flags pages that are exhausted but have not yet been written
-    /// past their limit.
+    /// "Worn" is not "dead": under [`WearPolicy::FailStop`] a worn page
+    /// fails its *next* write (so this predicate flags imminent death
+    /// before [`PcmDevice::first_failure`] latches anything), while
+    /// under [`WearPolicy::Unlimited`] a worn page keeps absorbing
+    /// writes and only dies when the cell-fault layer retires it. This
+    /// scans live wear state, including retired pages (which are by
+    /// construction worn or dead).
     #[must_use]
     pub fn any_page_exhausted(&self) -> bool {
         self.wear
@@ -234,7 +448,7 @@ impl PcmDevice {
         WearStats::compute(&self.wear, &self.endurance)
     }
 
-    /// Per-page wear counters (weakly ordered with addresses).
+    /// Per-physical-page wear counters (indexed by physical page).
     #[must_use]
     pub fn wear_counters(&self) -> &[u64] {
         &self.wear
@@ -249,6 +463,12 @@ impl PcmDevice {
             wear: self.wear.clone(),
             total_writes: self.total_writes,
             first_failure: self.first_failure,
+            policy: self.policy,
+            forward: self.forward.clone(),
+            back: self.back.clone(),
+            retired: self.retired.clone(),
+            spares: self.spares.clone(),
+            retired_count: self.retired_count,
         }
     }
 
@@ -257,11 +477,16 @@ impl PcmDevice {
     /// # Errors
     ///
     /// Returns [`PcmError::InvalidConfig`] if the snapshot is internally
-    /// inconsistent (mismatched lengths, wear totals, or wear exceeding
-    /// endurance beyond the at-limit state).
+    /// inconsistent (mismatched lengths, wear totals, wear exceeding
+    /// endurance under [`WearPolicy::FailStop`], or a broken slot map).
     pub fn restore(snapshot: DeviceSnapshot) -> Result<Self, PcmError> {
         let pages = snapshot.config.pages as usize;
-        if snapshot.endurance.len() != pages || snapshot.wear.len() != pages {
+        if snapshot.endurance.len() != pages
+            || snapshot.wear.len() != pages
+            || snapshot.forward.len() != pages
+            || snapshot.back.len() != pages
+            || snapshot.retired.len() != pages
+        {
             return Err(PcmError::InvalidConfig(
                 "snapshot table sizes do not match its config".into(),
             ));
@@ -271,10 +496,27 @@ impl PcmDevice {
                 "snapshot wear counters do not sum to its write total".into(),
             ));
         }
-        for ((_, e), &w) in snapshot.endurance.iter().zip(snapshot.wear.iter()) {
-            if w > e {
+        if snapshot.policy == WearPolicy::FailStop {
+            for ((_, e), &w) in snapshot.endurance.iter().zip(snapshot.wear.iter()) {
+                if w > e {
+                    return Err(PcmError::InvalidConfig(
+                        "snapshot wear exceeds page endurance".into(),
+                    ));
+                }
+            }
+        }
+        for (slot, &phys) in snapshot.forward.iter().enumerate() {
+            if phys as usize >= pages {
                 return Err(PcmError::InvalidConfig(
-                    "snapshot wear exceeds page endurance".into(),
+                    "snapshot slot map points outside the device".into(),
+                ));
+            }
+            // A consumed spare's own slot keeps a stale identity entry
+            // (spare slots are never addressed); any other
+            // non-inverting pair is a corrupt map.
+            if snapshot.back[phys as usize] != slot as u64 && phys as usize != slot {
+                return Err(PcmError::InvalidConfig(
+                    "snapshot slot map is not invertible".into(),
                 ));
             }
         }
@@ -284,6 +526,13 @@ impl PcmDevice {
             wear: snapshot.wear,
             total_writes: snapshot.total_writes,
             first_failure: snapshot.first_failure,
+            policy: snapshot.policy,
+            forward: snapshot.forward,
+            back: snapshot.back,
+            retired: snapshot.retired,
+            spares: snapshot.spares,
+            retired_count: snapshot.retired_count,
+            write_log: None,
         })
     }
 }
@@ -369,6 +618,73 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_policy_wears_past_endurance() {
+        let mut dev = device(4, 2);
+        dev.set_wear_policy(WearPolicy::Unlimited);
+        let pa = PhysicalPageAddr::new(1);
+        for _ in 0..5 {
+            dev.write_page(pa).unwrap();
+        }
+        assert_eq!(dev.wear(pa), 5);
+        assert_eq!(dev.remaining(pa), 0, "remaining saturates");
+        assert!(dev.any_page_exhausted(), "page is worn");
+        assert_eq!(dev.first_failure(), None, "but no write ever failed");
+    }
+
+    #[test]
+    fn write_log_records_resolved_pages() {
+        let mut dev = device(4, 10);
+        dev.enable_write_log();
+        dev.write_page(PhysicalPageAddr::new(3)).unwrap();
+        dev.write_page(PhysicalPageAddr::new(0)).unwrap();
+        let mut log = Vec::new();
+        dev.drain_write_log(&mut log);
+        assert_eq!(
+            log,
+            vec![PhysicalPageAddr::new(3), PhysicalPageAddr::new(0)]
+        );
+        log.clear();
+        dev.drain_write_log(&mut log);
+        assert!(log.is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn retirement_rebinds_slot_to_spare() {
+        let mut dev = device(6, 10);
+        dev.enable_write_log();
+        // Pages 4 and 5 are spares; slots 0..4 are the data region.
+        dev.set_spare_pool(vec![PhysicalPageAddr::new(4), PhysicalPageAddr::new(5)]);
+        let slot = PhysicalPageAddr::new(2);
+        dev.write_page(slot).unwrap();
+        let spare = dev.retire_page(slot).unwrap();
+        assert_eq!(spare, PhysicalPageAddr::new(4));
+        assert_eq!(dev.resolve(slot), spare);
+        assert_eq!(dev.owner_of(spare), slot);
+        assert!(dev.is_retired(PhysicalPageAddr::new(2)));
+        assert_eq!(dev.retired_pages(), 1);
+        assert_eq!(dev.spares_remaining(), 1);
+        // The migration copy was charged to the spare and logged.
+        assert_eq!(dev.wear(slot), 1, "slot wear now reads the spare's");
+        let mut log = Vec::new();
+        dev.drain_write_log(&mut log);
+        assert_eq!(log, vec![PhysicalPageAddr::new(2), spare]);
+        // Subsequent writes to the slot wear the spare.
+        dev.write_page(slot).unwrap();
+        assert_eq!(dev.wear_counters()[4], 2);
+        assert_eq!(dev.wear_counters()[2], 1, "retired page wears no more");
+    }
+
+    #[test]
+    fn spare_exhaustion_is_reported() {
+        let mut dev = device(4, 10);
+        dev.set_spare_pool(vec![PhysicalPageAddr::new(3)]);
+        let slot = PhysicalPageAddr::new(0);
+        dev.retire_page(slot).unwrap();
+        let err = dev.retire_page(slot).unwrap_err();
+        assert_eq!(err, PcmError::SparesExhausted { slot });
+    }
+
+    #[test]
     fn snapshot_roundtrip_preserves_behaviour() {
         let mut dev = device(8, 5);
         let pa = PhysicalPageAddr::new(2);
@@ -387,6 +703,25 @@ mod tests {
             dev.write_page(pa).unwrap_err(),
             restored.write_page(pa).unwrap_err()
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_retirements() {
+        let mut dev = device(6, 4);
+        dev.set_wear_policy(WearPolicy::Unlimited);
+        dev.set_spare_pool(vec![PhysicalPageAddr::new(4), PhysicalPageAddr::new(5)]);
+        let slot = PhysicalPageAddr::new(1);
+        for _ in 0..6 {
+            dev.write_page(slot).unwrap();
+        }
+        dev.retire_page(slot).unwrap();
+        let restored = PcmDevice::restore(dev.snapshot()).unwrap();
+        assert_eq!(restored.wear_policy(), WearPolicy::Unlimited);
+        assert_eq!(restored.resolve(slot), PhysicalPageAddr::new(4));
+        assert_eq!(restored.owner_of(PhysicalPageAddr::new(4)), slot);
+        assert!(restored.is_retired(PhysicalPageAddr::new(1)));
+        assert_eq!(restored.spares_remaining(), 1);
+        assert_eq!(restored.retired_pages(), 1);
     }
 
     #[test]

@@ -118,6 +118,35 @@ impl EnduranceMap {
         self.total() as f64 / self.len() as f64
     }
 
+    /// The raw per-page endurance values, indexed by physical page.
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// A map covering only the first `pages` pages.
+    ///
+    /// Because [`EnduranceMap::generate`] draws pages sequentially from
+    /// the seeded stream, truncating a larger device's map yields
+    /// exactly the map a `pages`-page device with the same seed would
+    /// draw. `twl-faults` uses this to build schemes over the data
+    /// region of a device provisioned with extra spare pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero or exceeds the map's length.
+    #[must_use]
+    pub fn truncated(&self, pages: usize) -> Self {
+        assert!(
+            pages > 0 && pages <= self.values.len(),
+            "truncation length {pages} outside 1..={}",
+            self.values.len()
+        );
+        Self {
+            values: self.values[..pages].to_vec(),
+        }
+    }
+
     /// Page addresses sorted by ascending endurance (weakest first).
     ///
     /// This is the sort the paper's Strong-Weak Pairing performs once at
@@ -200,5 +229,13 @@ mod tests {
     #[should_panic(expected = "endurance values must be positive")]
     fn zero_endurance_rejected() {
         let _ = EnduranceMap::from_values(vec![1, 0]);
+    }
+
+    #[test]
+    fn truncation_matches_smaller_generation() {
+        let big = EnduranceMap::generate(&small_config(256, 7));
+        let small = EnduranceMap::generate(&small_config(64, 7));
+        assert_eq!(big.truncated(64), small);
+        assert_eq!(big.truncated(256), big);
     }
 }

@@ -27,6 +27,12 @@ pub enum PcmError {
         /// Number of pages in the device.
         pages: u64,
     },
+    /// A page retirement found the spare pool empty — end of life under
+    /// graceful degradation.
+    SparesExhausted {
+        /// The slot whose backing page could not be replaced.
+        slot: PhysicalPageAddr,
+    },
     /// The device configuration is invalid.
     InvalidConfig(String),
 }
@@ -42,6 +48,9 @@ impl fmt::Display for PcmError {
                     f,
                     "physical page index {index} outside device of {pages} pages"
                 )
+            }
+            Self::SparesExhausted { slot } => {
+                write!(f, "no spare page left to replace the page backing {slot}")
             }
             Self::InvalidConfig(msg) => write!(f, "invalid PCM configuration: {msg}"),
         }
@@ -68,6 +77,10 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let e = PcmError::InvalidConfig("pages must be even".into());
         assert!(e.to_string().contains("pages must be even"));
+        let e = PcmError::SparesExhausted {
+            slot: PhysicalPageAddr::new(3),
+        };
+        assert!(e.to_string().contains("PA3"));
     }
 
     #[test]

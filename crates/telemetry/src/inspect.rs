@@ -81,6 +81,53 @@ impl Trace {
         })
     }
 
+    /// Degradation points folded per (scheme, workload) cell in
+    /// first-appearance order: the point count plus the last point's
+    /// state — how far each cell degraded by the end of its run.
+    #[must_use]
+    pub fn degradation_cells(&self) -> Vec<DegradationCell> {
+        let mut cells: Vec<DegradationCell> = Vec::new();
+        for r in &self.records {
+            let TelemetryRecord::Degradation {
+                scheme,
+                workload,
+                at_device_writes,
+                corrected_groups,
+                retired_pages,
+                spares_remaining,
+                capacity_fraction,
+                ..
+            } = r
+            else {
+                continue;
+            };
+            match cells
+                .iter_mut()
+                .find(|c| &c.scheme == scheme && &c.workload == workload)
+            {
+                Some(cell) => {
+                    cell.points += 1;
+                    cell.at_device_writes = *at_device_writes;
+                    cell.corrected_groups = *corrected_groups;
+                    cell.retired_pages = *retired_pages;
+                    cell.spares_remaining = *spares_remaining;
+                    cell.capacity_fraction = *capacity_fraction;
+                }
+                None => cells.push(DegradationCell {
+                    scheme: scheme.clone(),
+                    workload: workload.clone(),
+                    points: 1,
+                    at_device_writes: *at_device_writes,
+                    corrected_groups: *corrected_groups,
+                    retired_pages: *retired_pages,
+                    spares_remaining: *spares_remaining,
+                    capacity_fraction: *capacity_fraction,
+                }),
+            }
+        }
+        cells
+    }
+
     /// Alarm records counted per scheme.
     #[must_use]
     pub fn alarms_by_scheme(&self) -> BTreeMap<&str, u64> {
@@ -92,6 +139,28 @@ impl Trace {
         }
         out
     }
+}
+
+/// One (scheme, workload) cell's degradation state, folded from its
+/// `degradation_point` records (see [`Trace::degradation_cells`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationCell {
+    /// Scheme of the cell.
+    pub scheme: String,
+    /// Workload or attack of the cell.
+    pub workload: String,
+    /// Number of degradation points recorded (≈ retirements observed).
+    pub points: u64,
+    /// Device writes at the last point.
+    pub at_device_writes: u64,
+    /// Cell-group faults corrected by the last point.
+    pub corrected_groups: u64,
+    /// Pages retired by the last point.
+    pub retired_pages: u64,
+    /// Spares still available at the last point.
+    pub spares_remaining: u64,
+    /// Physical capacity fraction remaining at the last point.
+    pub capacity_fraction: f64,
 }
 
 fn render_columns(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -163,15 +232,50 @@ pub fn render_summary_table(trace: &Trace) -> String {
             ]
         })
         .collect();
-    if rows.is_empty() {
+    let degradation = trace.degradation_cells();
+    if rows.is_empty() && degradation.is_empty() {
         out.push_str("no scheme_summary records in trace\n");
-    } else {
+    } else if !rows.is_empty() {
         out.push_str(&render_columns(
             &[
                 "scheme", "workload", "swap/wr", "extra-wr", "alarm", "years", "gini", "wear-p50",
                 "wear-p99", "wear-max", "wearout",
             ],
             &rows,
+        ));
+    }
+    if !degradation.is_empty() {
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("degradation (final point per cell):\n");
+        let deg_rows: Vec<Vec<String>> = degradation
+            .iter()
+            .map(|c| {
+                vec![
+                    c.scheme.clone(),
+                    c.workload.clone(),
+                    c.points.to_string(),
+                    c.at_device_writes.to_string(),
+                    c.corrected_groups.to_string(),
+                    c.retired_pages.to_string(),
+                    c.spares_remaining.to_string(),
+                    format!("{:.1}%", c.capacity_fraction * 100.0),
+                ]
+            })
+            .collect();
+        out.push_str(&render_columns(
+            &[
+                "scheme",
+                "workload",
+                "points",
+                "dev-writes",
+                "corrected",
+                "retired",
+                "spares",
+                "capacity",
+            ],
+            &deg_rows,
         ));
     }
     if trace.skipped > 0 {
@@ -313,6 +417,33 @@ mod tests {
         assert!(table.contains("2.50%"), "extra-write %:\n{table}");
         assert!(table.contains('8'), "wear max joined:\n{table}");
         assert!(table.contains("fig8_lifetime"), "header:\n{table}");
+    }
+
+    #[test]
+    fn degradation_points_fold_into_a_final_state_table() {
+        let point = |at: u64, retired: u64, spares: u64| TelemetryRecord::Degradation {
+            scheme: "NOWL".to_owned(),
+            workload: "repeat".to_owned(),
+            at_logical_writes: at,
+            at_device_writes: at + retired,
+            corrected_groups: retired * 3,
+            retired_pages: retired,
+            spares_remaining: spares,
+            capacity_fraction: 1.0 - retired as f64 / 100.0,
+        };
+        let trace = trace_of(vec![point(1_000, 1, 3), point(2_000, 4, 0)]);
+        let cells = trace.degradation_cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].points, 2);
+        assert_eq!(cells[0].retired_pages, 4);
+        assert_eq!(cells[0].spares_remaining, 0);
+        let table = render_summary_table(&trace);
+        assert!(table.contains("degradation"), "table:\n{table}");
+        assert!(table.contains("96.0%"), "capacity:\n{table}");
+        assert!(
+            !table.contains("no scheme_summary"),
+            "degradation-only traces are not empty:\n{table}"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod json;
 /// Schema tag stamped on every JSONL record.
 pub const SCHEMA_VERSION: &str = "twl-telemetry/v1";
 
-pub use inspect::{diff_traces, render_summary_table, Regression, Trace};
+pub use inspect::{diff_traces, render_summary_table, DegradationCell, Regression, Trace};
 pub use metrics::{global, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use record::{SchemeSummary, TelemetryRecord};
 pub use sink::{

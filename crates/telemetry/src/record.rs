@@ -75,6 +75,26 @@ pub enum TelemetryRecord {
         /// Heavy-hitter share that tripped the threshold.
         share: f64,
     },
+    /// One point on a graceful-degradation curve: the device state at a
+    /// page retirement (or the run's end).
+    Degradation {
+        /// Scheme under test.
+        scheme: String,
+        /// Workload or attack label.
+        workload: String,
+        /// Logical writes serviced when the point was captured.
+        at_logical_writes: u64,
+        /// Device writes absorbed when the point was captured.
+        at_device_writes: u64,
+        /// Cell-group faults corrected so far.
+        corrected_groups: u64,
+        /// Pages retired so far.
+        retired_pages: u64,
+        /// Spare pages still available.
+        spares_remaining: u64,
+        /// Fraction of physical pages still alive.
+        capacity_fraction: f64,
+    },
     /// A dump of the global metrics registry.
     Counters(MetricsSnapshot),
 }
@@ -88,6 +108,7 @@ impl TelemetryRecord {
             Self::Summary(_) => "scheme_summary",
             Self::Wear { .. } => "wear_snapshot",
             Self::Alarm { .. } => "alarm",
+            Self::Degradation { .. } => "degradation_point",
             Self::Counters(_) => "counters",
         }
     }
@@ -152,6 +173,25 @@ impl TelemetryRecord {
                 ("scheme", str(scheme)),
                 ("window", int(*window)),
                 ("share", num(*share)),
+            ]),
+            Self::Degradation {
+                scheme,
+                workload,
+                at_logical_writes,
+                at_device_writes,
+                corrected_groups,
+                retired_pages,
+                spares_remaining,
+                capacity_fraction,
+            } => Json::obj([
+                ("scheme", str(scheme)),
+                ("workload", str(workload)),
+                ("at_logical_writes", int(*at_logical_writes)),
+                ("at_device_writes", int(*at_device_writes)),
+                ("corrected_groups", int(*corrected_groups)),
+                ("retired_pages", int(*retired_pages)),
+                ("spares_remaining", int(*spares_remaining)),
+                ("capacity_fraction", num(*capacity_fraction)),
             ]),
             Self::Counters(snap) => {
                 let counters = Json::Obj(
@@ -290,6 +330,16 @@ impl TelemetryRecord {
                 window: get_u64("window")?,
                 share: get_f64("share")?,
             }),
+            "degradation_point" => Ok(Self::Degradation {
+                scheme: get_str("scheme")?,
+                workload: get_str("workload")?,
+                at_logical_writes: get_u64("at_logical_writes")?,
+                at_device_writes: get_u64("at_device_writes")?,
+                corrected_groups: get_u64("corrected_groups")?,
+                retired_pages: get_u64("retired_pages")?,
+                spares_remaining: get_u64("spares_remaining")?,
+                capacity_fraction: get_f64("capacity_fraction")?,
+            }),
             "counters" => {
                 let mut snap = MetricsSnapshot::default();
                 if let Some(Json::Obj(map)) = value.get("counters") {
@@ -386,6 +436,22 @@ mod tests {
             gauges: vec![("q.depth".to_owned(), -5)],
             histograms: vec![("lat".to_owned(), 10, 1000, 400)],
         });
+        let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn degradation_point_roundtrips() {
+        let record = TelemetryRecord::Degradation {
+            scheme: "TWL_swp".to_owned(),
+            workload: "repeat".to_owned(),
+            at_logical_writes: 5_000_000,
+            at_device_writes: 5_100_000,
+            corrected_groups: 42,
+            retired_pages: 3,
+            spares_remaining: 13,
+            capacity_fraction: 0.981,
+        };
         let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
         assert_eq!(back, record);
     }

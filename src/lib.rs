@@ -20,6 +20,7 @@
 //! | [`attacks`] | `twl-attacks` | repeat/random/scan/inconsistent attacks |
 //! | [`workloads`] | `twl-workloads` | PARSEC-like synthetic traces |
 //! | [`memctrl`] | `twl-memctrl` | Memory-controller timing model |
+//! | [`faults`] | `twl-faults` | Cell faults, ECP correction, page retirement |
 //! | [`lifetime`] | `twl-lifetime` | Lifetime simulation & calibration |
 //! | [`telemetry`] | `twl-telemetry` | Metrics, wear sampling, JSONL traces |
 //!
@@ -44,6 +45,7 @@ pub use twl_attacks as attacks;
 pub use twl_baselines as baselines;
 pub use twl_cache as cache;
 pub use twl_core as twl;
+pub use twl_faults as faults;
 pub use twl_lifetime as lifetime;
 pub use twl_memctrl as memctrl;
 pub use twl_pcm as pcm;
