@@ -55,6 +55,25 @@ pub trait AttackStream {
 
     /// Produces the next logical address to write.
     fn next_write(&mut self, feedback: Option<&WriteOutcome>) -> LogicalPageAddr;
+
+    /// Produces the next *run* of writes: an address and how many
+    /// consecutive writes (at most `max`) the stream commits to issuing
+    /// there before it needs feedback again.
+    ///
+    /// This is the batchability contract of the event-skipping fast
+    /// path: declaring a run of `len` promises the stream would have
+    /// produced the same address for the next `len` calls to
+    /// [`AttackStream::next_write`] *regardless of the feedback* those
+    /// calls would have seen, and that one `next_run` call advances the
+    /// stream's internal state exactly as `len` `next_write` calls
+    /// would. Feedback-adaptive attacks (and any stream that varies its
+    /// address per write) keep the default run length of 1, which
+    /// degrades the batched driver to exact per-write behaviour —
+    /// feedback is consulted before every run.
+    fn next_run(&mut self, feedback: Option<&WriteOutcome>, max: u64) -> (LogicalPageAddr, u64) {
+        let _ = max;
+        (self.next_write(feedback), 1)
+    }
 }
 
 /// The four attack modes of Fig. 6.
@@ -160,6 +179,15 @@ impl AttackStream for Attack {
             Self::Random(a) => a.next_write(feedback),
             Self::Scan(a) => a.next_write(feedback),
             Self::Inconsistent(a) => a.next_write(feedback),
+        }
+    }
+
+    fn next_run(&mut self, feedback: Option<&WriteOutcome>, max: u64) -> (LogicalPageAddr, u64) {
+        match self {
+            Self::Repeat(a) => a.next_run(feedback, max),
+            Self::Random(a) => a.next_run(feedback, max),
+            Self::Scan(a) => a.next_run(feedback, max),
+            Self::Inconsistent(a) => a.next_run(feedback, max),
         }
     }
 }

@@ -40,6 +40,12 @@ impl AttackStream for RepeatAttack {
     fn next_write(&mut self, _feedback: Option<&WriteOutcome>) -> LogicalPageAddr {
         self.target
     }
+
+    fn next_run(&mut self, _feedback: Option<&WriteOutcome>, max: u64) -> (LogicalPageAddr, u64) {
+        // The stream is constant and feedback-blind: any run length is
+        // batchable.
+        (self.target, max.max(1))
+    }
 }
 
 /// Random-write mode: uniformly random addresses.
@@ -124,6 +130,18 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next_write(None).index(), 3);
         }
+    }
+
+    #[test]
+    fn repeat_declares_full_runs_and_others_stay_per_write() {
+        let mut repeat = RepeatAttack::new(LogicalPageAddr::new(3));
+        assert_eq!(repeat.next_run(None, 1000), (LogicalPageAddr::new(3), 1000));
+        assert_eq!(repeat.next_run(None, 0).1, 1, "runs are never empty");
+        let mut scan = ScanAttack::new(4);
+        assert_eq!(scan.next_run(None, 1000), (LogicalPageAddr::new(0), 1));
+        assert_eq!(scan.next_run(None, 1000), (LogicalPageAddr::new(1), 1));
+        let mut random = RandomAttack::new(16, 1);
+        assert_eq!(random.next_run(None, 1000).1, 1);
     }
 
     #[test]

@@ -124,15 +124,33 @@ impl CountingBloomFilter {
     /// Uses conservative update: only the minimal counters are bumped,
     /// which tightens the overcount.
     pub fn insert(&mut self, value: u64) -> u64 {
+        self.insert_n(value, 1)
+    }
+
+    /// Inserts `n` occurrences of `value` in O(k), returning the
+    /// estimate the last insertion would have reported — exactly
+    /// equivalent to `n` sequential [`CountingBloomFilter::insert`]
+    /// calls.
+    ///
+    /// Repeated conservative updates of one value behave like a rising
+    /// water level: each insert lifts the minimal counters by one, so
+    /// after `n` inserts every hashed counter sits at
+    /// `max(counter, min + n)` (saturating). Returns the current
+    /// estimate unchanged when `n == 0`.
+    pub fn insert_n(&mut self, value: u64, n: u64) -> u64 {
         let m = self.counters.len();
         let hs: Vec<usize> = (0..self.k).map(|i| bloom_hash(value, i, m)).collect();
-        let min = hs.iter().map(|&h| self.counters[h]).min().unwrap_or(0);
+        let min = u64::from(hs.iter().map(|&h| self.counters[h]).min().unwrap_or(0));
+        if n == 0 {
+            return min;
+        }
+        let level = min.saturating_add(n).min(u64::from(u32::MAX)) as u32;
         for &h in &hs {
-            if self.counters[h] == min {
-                self.counters[h] = self.counters[h].saturating_add(1);
+            if self.counters[h] < level {
+                self.counters[h] = level;
             }
         }
-        u64::from(min) + 1
+        min.saturating_add(n - 1).min(u64::from(u32::MAX)) + 1
     }
 
     /// Estimated occurrence count (never an undercount).
@@ -219,6 +237,28 @@ mod tests {
         }
         let over: u64 = (0..64u64).map(|v| cbf.estimate(v) - 10).sum();
         assert!(over < 64, "total overcount {over}");
+    }
+
+    #[test]
+    fn cbf_insert_n_matches_sequential_inserts() {
+        let mut bulk = CountingBloomFilter::new(512, 4);
+        let mut seq = CountingBloomFilter::new(512, 4);
+        // Interleave other keys so counters start from unequal values.
+        let mut rng = Xoshiro256StarStar::seed_from(9);
+        for _ in 0..300 {
+            let v = rng.next_bounded(50);
+            bulk.insert(v);
+            seq.insert(v);
+        }
+        for &(v, n) in &[(7u64, 1u64), (7, 13), (99, 40), (3, 0)] {
+            let got = bulk.insert_n(v, n);
+            let mut want = seq.estimate(v); // the n == 0 convention
+            for _ in 0..n {
+                want = seq.insert(v);
+            }
+            assert_eq!(got, want, "estimate for v={v} n={n}");
+            assert_eq!(bulk, seq, "state after v={v} n={n}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::{BloomFilter, CountingBloomFilter};
 use serde::{Deserialize, Serialize};
 use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
-use twl_wl_core::{ReadOutcome, RemappingTable, WearLeveler, WlStats, WriteOutcome};
+use twl_wl_core::{BatchOutcome, ReadOutcome, RemappingTable, WearLeveler, WlStats, WriteOutcome};
 
 /// A persistent hot-list entry: survives epochs until it misses the
 /// (halved) threshold three times in a row, which damps boundary
@@ -467,6 +467,72 @@ impl WearLeveler for BloomFilterWl {
         Ok(outcome)
     }
 
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        let mut batch = BatchOutcome::default();
+        let mut remaining = n;
+        while remaining > 0 {
+            // Everything strictly before the epoch boundary is a plain
+            // write plus detection-state updates that all have exact
+            // O(k) bulk forms: the membership insert is idempotent, the
+            // CBF collapses via `insert_n`, and the hot-list push
+            // condition is monotone in the estimate, so checking it once
+            // at the segment end selects the same pages the per-write
+            // path would (the list itself cannot change mid-segment).
+            let to_epoch = self.config.epoch_writes - self.epoch_write_count;
+            let plain = remaining.min(to_epoch - 1);
+            if plain > 0 {
+                let pa = self.rt.translate(la);
+                let bulk = device.write_page_n(pa, plain);
+                if bulk.landed > 0 {
+                    self.written.insert(la.index());
+                    let est = self.cbf.insert_n(la.index(), bulk.landed);
+                    if est >= self.hot_threshold
+                        && self.hot_list.len() < self.config.max_tracked
+                        && !self.hot_list.iter().any(|e| e.la == la)
+                    {
+                        self.hot_list.push(HotEntry {
+                            la,
+                            estimate: est,
+                            misses: 0,
+                        });
+                    }
+                    self.epoch_write_count += bulk.landed;
+                    let outcome = WriteOutcome {
+                        pa,
+                        device_writes: 1,
+                        swapped: false,
+                        engine_cycles: 3 * self.config.access_latency,
+                        blocking_cycles: 0,
+                    };
+                    self.stats.record_write_n(&outcome, bulk.landed);
+                    batch.serviced += bulk.landed;
+                    batch.last = Some(outcome);
+                }
+                if let Some(e) = bulk.failure {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+                remaining -= plain;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            // The epoch-closing write runs through the scalar path.
+            match self.write(la, device) {
+                Ok(outcome) => {
+                    batch.serviced += 1;
+                    batch.last = Some(outcome);
+                    remaining -= 1;
+                }
+                Err(e) => {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+            }
+        }
+        batch
+    }
+
     fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
         let pa = self.rt.translate(la);
         device.read_page(pa)?;
@@ -578,6 +644,30 @@ mod tests {
             out.engine_cycles, 90,
             "two filters + list at 30 cycles each"
         );
+    }
+
+    #[test]
+    fn write_batch_matches_sequential_writes() {
+        let (mut dev_bulk, mut bulk) = setup(64);
+        let (mut dev_seq, mut seq) = setup(64);
+        // Mix addresses so the hot list and epoch machinery engage, with
+        // batch sizes straddling the 512-write epoch.
+        for (i, &n) in [3u64, 500, 9, 512, 1, 700, 64].iter().enumerate() {
+            let la = LogicalPageAddr::new((i % 4) as u64);
+            let batch = bulk.write_batch(la, n, &mut dev_bulk);
+            assert_eq!(batch.serviced, n);
+            let mut last = None;
+            for _ in 0..n {
+                last = Some(seq.write(la, &mut dev_seq).unwrap());
+            }
+            assert_eq!(batch.last, last, "n = {n}");
+        }
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(bulk.epochs(), seq.epochs());
+        assert_eq!(bulk.hot_threshold(), seq.hot_threshold());
+        assert_eq!(bulk.remapping_table(), seq.remapping_table());
+        assert_eq!(dev_bulk.wear_counters(), dev_seq.wear_counters());
+        assert!(bulk.epochs() >= 3, "the stress actually crossed epochs");
     }
 
     #[test]

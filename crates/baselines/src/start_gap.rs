@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
 use twl_rng::FeistelPermutation;
-use twl_wl_core::{ReadOutcome, WearLeveler, WlStats, WriteOutcome};
+use twl_wl_core::{BatchOutcome, ReadOutcome, WearLeveler, WlStats, WriteOutcome};
 
 /// Configuration of [`StartGap`].
 ///
@@ -209,6 +209,56 @@ impl WearLeveler for StartGap {
         Ok(outcome)
     }
 
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        let mut batch = BatchOutcome::default();
+        let mut remaining = n;
+        while remaining > 0 {
+            // Between gap movements the translation is frozen, so every
+            // write up to (not including) the next interval boundary is
+            // a plain wear bump on the same frame.
+            let to_gap = self.config.gap_interval - self.writes % self.config.gap_interval;
+            let plain = remaining.min(to_gap - 1);
+            if plain > 0 {
+                let pa = self.translate(la);
+                let bulk = device.write_page_n(pa, plain);
+                self.writes += bulk.landed;
+                if bulk.landed > 0 {
+                    let outcome = WriteOutcome {
+                        pa,
+                        device_writes: 1,
+                        swapped: false,
+                        engine_cycles: self.config.remap_latency,
+                        blocking_cycles: 0,
+                    };
+                    self.stats.record_write_n(&outcome, bulk.landed);
+                    batch.serviced += bulk.landed;
+                    batch.last = Some(outcome);
+                }
+                if let Some(e) = bulk.failure {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+                remaining -= plain;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            // The gap-moving write runs through the scalar path.
+            match self.write(la, device) {
+                Ok(outcome) => {
+                    batch.serviced += 1;
+                    batch.last = Some(outcome);
+                    remaining -= 1;
+                }
+                Err(e) => {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+            }
+        }
+        batch
+    }
+
     fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
         let pa = self.translate(la);
         device.read_page(pa)?;
@@ -269,6 +319,28 @@ mod tests {
             seen[f] = true;
         }
         assert!(!seen[sg.gap().as_usize()]);
+    }
+
+    #[test]
+    fn write_batch_matches_sequential_writes() {
+        let (mut dev_bulk, mut bulk) = setup(64);
+        let (mut dev_seq, mut seq) = setup(64);
+        let la = LogicalPageAddr::new(7);
+        // Sizes straddling the 100-write gap interval.
+        for &n in &[1u64, 50, 49, 100, 101, 250] {
+            let batch = bulk.write_batch(la, n, &mut dev_bulk);
+            assert_eq!(batch.serviced, n);
+            let mut last = None;
+            for _ in 0..n {
+                last = Some(seq.write(la, &mut dev_seq).unwrap());
+            }
+            assert_eq!(batch.last, last, "n = {n}");
+        }
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(bulk.gap_moves(), seq.gap_moves());
+        assert_eq!(bulk.gap(), seq.gap());
+        assert_eq!(dev_bulk.wear_counters(), dev_seq.wear_counters());
+        assert!(bulk.gap_moves() >= 5, "the stress actually moved the gap");
     }
 
     #[test]

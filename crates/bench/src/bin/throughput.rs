@@ -1,0 +1,230 @@
+//! Throughput harness for the event-skipping batched fast path.
+//!
+//! Runs the repeat attack (the fully batchable stream) against a set of
+//! schemes twice — through the per-write reference loop and through the
+//! batched driver — asserts the two runs are bit-identical, and reports
+//! simulated writes per second for both, writing the results as JSON.
+//!
+//! Run: `cargo run --release -p twl-bench --bin throughput`
+//!
+//! Flags (all optional):
+//!
+//! * `--pages N` / `--endurance N` / `--seed N` — device geometry
+//!   (defaults match `PcmConfig::default()`: 8192 / 100 000 / 0).
+//! * `--budget N` — logical writes per timed run (default 20 000 000).
+//! * `--iters N` — timing repetitions per mode; best-of wins (default 3).
+//! * `--out PATH` — where to write the JSON (default
+//!   `BENCH_throughput.json`).
+//! * `--smoke` — small geometry and budget for CI smoke runs.
+//!
+//! Exits non-zero if any scheme's batched throughput falls below its
+//! unbatched throughput — the regression gate CI relies on.
+
+use std::time::Instant;
+use twl_attacks::{Attack, AttackKind};
+use twl_lifetime::{
+    build_scheme, run_attack, run_attack_unbatched, Calibration, LifetimeReport, SchemeKind,
+    SimLimits,
+};
+use twl_pcm::{PcmConfig, PcmDevice};
+use twl_telemetry::json::{self, Json};
+
+/// The schemes timed by the harness: the pass-through baseline, the two
+/// interval-driven baselines, and the paper's scheme.
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::Nowl,
+    SchemeKind::StartGap,
+    SchemeKind::Bwl,
+    SchemeKind::TwlSwp,
+];
+
+struct BenchArgs {
+    pages: u64,
+    endurance: u64,
+    seed: u64,
+    budget: u64,
+    iters: u32,
+    out: String,
+}
+
+/// Parses the harness's own flags (`ExperimentConfig::from_args` cannot
+/// host them: it panics on flags it does not know).
+fn parse_args<I, S>(args: I) -> BenchArgs
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut parsed = BenchArgs {
+        pages: 8192,
+        endurance: 100_000,
+        seed: 0,
+        budget: 20_000_000,
+        iters: 3,
+        out: "BENCH_throughput.json".to_owned(),
+    };
+    let mut explicit_budget = false;
+    let mut smoke = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut grab = |name: &str| -> String {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .as_ref()
+                .to_owned()
+        };
+        let int = |name: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} needs an integer value"))
+        };
+        match arg.as_ref() {
+            "--pages" => parsed.pages = int("--pages", grab("--pages")),
+            "--endurance" => parsed.endurance = int("--endurance", grab("--endurance")),
+            "--seed" => parsed.seed = int("--seed", grab("--seed")),
+            "--budget" => {
+                parsed.budget = int("--budget", grab("--budget"));
+                explicit_budget = true;
+            }
+            "--iters" => parsed.iters = int("--iters", grab("--iters")).max(1) as u32,
+            "--out" => parsed.out = grab("--out"),
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}; see the throughput bin docs"),
+        }
+    }
+    if smoke {
+        parsed.pages = parsed.pages.min(256);
+        parsed.endurance = parsed.endurance.min(2_000);
+        if !explicit_budget {
+            parsed.budget = 200_000;
+        }
+    }
+    parsed
+}
+
+fn pcm_config(args: &BenchArgs) -> PcmConfig {
+    PcmConfig::builder()
+        .pages(args.pages)
+        .mean_endurance(args.endurance)
+        .seed(args.seed)
+        .build()
+        .expect("valid device geometry")
+}
+
+/// One full run: fresh device, scheme and attack every time, so timing
+/// repetitions are independent and deterministic.
+fn run_once(args: &BenchArgs, kind: SchemeKind, batched: bool) -> (LifetimeReport, Vec<u64>, f64) {
+    let mut device = PcmDevice::new(&pcm_config(args));
+    let mut scheme = build_scheme(kind, &device)
+        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut attack = Attack::new(AttackKind::Repeat, scheme.page_count(), args.seed);
+    let limits = SimLimits {
+        max_logical_writes: args.budget,
+    };
+    let calibration = Calibration::attack_8gbps();
+    let start = Instant::now();
+    let report = if batched {
+        run_attack(
+            scheme.as_mut(),
+            &mut device,
+            &mut attack,
+            &limits,
+            &calibration,
+        )
+    } else {
+        run_attack_unbatched(
+            scheme.as_mut(),
+            &mut device,
+            &mut attack,
+            &limits,
+            &calibration,
+        )
+    };
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (report, device.wear_counters().to_vec(), secs)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    println!(
+        "throughput: repeat attack, {} pages, mean endurance {}, seed {}, budget {}, best of {}",
+        args.pages, args.endurance, args.seed, args.budget, args.iters
+    );
+
+    let headers = [
+        "scheme",
+        "writes",
+        "unbatched w/s",
+        "batched w/s",
+        "speedup",
+    ];
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for kind in SCHEMES {
+        let (mut unbatched_report, unbatched_wear, mut unbatched_secs) =
+            run_once(&args, kind, false);
+        let (batched_report, batched_wear, mut batched_secs) = run_once(&args, kind, true);
+        assert_eq!(
+            batched_report, unbatched_report,
+            "{kind}: batched run diverged from the per-write reference"
+        );
+        assert_eq!(
+            batched_wear, unbatched_wear,
+            "{kind}: batched wear map diverged from the per-write reference"
+        );
+        for _ in 1..args.iters {
+            let (r, _, secs) = run_once(&args, kind, false);
+            unbatched_report = r;
+            unbatched_secs = unbatched_secs.min(secs);
+            let (_, _, secs) = run_once(&args, kind, true);
+            batched_secs = batched_secs.min(secs);
+        }
+        let writes = unbatched_report.logical_writes;
+        let unbatched_wps = writes as f64 / unbatched_secs;
+        let batched_wps = writes as f64 / batched_secs;
+        let speedup = batched_wps / unbatched_wps;
+        min_speedup = min_speedup.min(speedup);
+        rows.push(vec![
+            kind.label().to_owned(),
+            writes.to_string(),
+            format!("{unbatched_wps:.0}"),
+            format!("{batched_wps:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        runs.push(Json::obj([
+            ("scheme", json::str(kind.label())),
+            ("attack", json::str("repeat")),
+            ("logical_writes", json::int(writes)),
+            ("unbatched_secs", json::num(unbatched_secs)),
+            ("batched_secs", json::num(batched_secs)),
+            ("unbatched_writes_per_sec", json::num(unbatched_wps)),
+            ("batched_writes_per_sec", json::num(batched_wps)),
+            ("speedup", json::num(speedup)),
+            ("identical", Json::Bool(true)),
+        ]));
+    }
+    twl_bench::print_table(&headers, &rows);
+
+    let doc = Json::obj([
+        ("bench", json::str("throughput")),
+        (
+            "config",
+            Json::obj([
+                ("pages", json::int(args.pages)),
+                ("mean_endurance", json::int(args.endurance)),
+                ("seed", json::int(args.seed)),
+                ("budget", json::int(args.budget)),
+                ("iters", json::int(u64::from(args.iters))),
+            ]),
+        ),
+        ("runs", Json::Arr(runs)),
+        ("min_speedup", json::num(min_speedup)),
+    ]);
+    std::fs::write(&args.out, doc.to_compact() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    if min_speedup < 1.0 {
+        eprintln!("FAIL: batched throughput regressed below unbatched ({min_speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

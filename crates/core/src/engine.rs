@@ -4,8 +4,35 @@ use crate::{PairTable, TwlConfig};
 use twl_pcm::{EnduranceMap, LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
 use twl_rng::{SimRng, Xoshiro256StarStar};
 use twl_wl_core::{
-    ReadOutcome, RemappingTable, WearLeveler, WlStats, WriteCounterTable, WriteOutcome,
+    BatchOutcome, ReadOutcome, RemappingTable, WearLeveler, WlStats, WriteCounterTable,
+    WriteOutcome,
 };
+
+/// Telemetry handles resolved once at construction.
+///
+/// The `counter!`/`histogram!` macros cache per call site, but even the
+/// cached path is a `OnceLock` load per write; at 10⁹-write lifetimes
+/// that is measurable. Struct fields make the handle loads free.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetrics {
+    writes: &'static twl_telemetry::Counter,
+    toss_ups: &'static twl_telemetry::Counter,
+    toss_swaps: &'static twl_telemetry::Counter,
+    inter_pair_swaps: &'static twl_telemetry::Counter,
+    blocking_cycles: &'static twl_telemetry::Histogram,
+}
+
+impl EngineMetrics {
+    fn resolve() -> Self {
+        Self {
+            writes: twl_telemetry::counter!("twl.core.writes"),
+            toss_ups: twl_telemetry::counter!("twl.core.toss_ups"),
+            toss_swaps: twl_telemetry::counter!("twl.core.toss_swaps"),
+            inter_pair_swaps: twl_telemetry::counter!("twl.core.inter_pair_swaps"),
+            blocking_cycles: twl_telemetry::histogram!("twl.core.blocking_cycles"),
+        }
+    }
+}
 
 /// Closed-form per-toss swap probability (paper Eq. 1/2).
 ///
@@ -58,6 +85,7 @@ pub struct TossUpWearLeveling {
     inter_pair_swaps: u64,
     stats: WlStats,
     name: String,
+    metrics: EngineMetrics,
 }
 
 impl TossUpWearLeveling {
@@ -83,6 +111,7 @@ impl TossUpWearLeveling {
             inter_pair_swaps: 0,
             stats: WlStats::new(),
             name: format!("TWL_{}", config.pairing.label()),
+            metrics: EngineMetrics::resolve(),
         }
     }
 
@@ -135,7 +164,7 @@ impl TossUpWearLeveling {
         device: &mut PcmDevice,
     ) -> Result<TossResult, PcmError> {
         self.toss_ups += 1;
-        twl_telemetry::counter!("twl.core.toss_ups").inc();
+        self.metrics.toss_ups.inc();
         let partner = self.pairs.partner(pa);
         let e_here = self.toss_endurance(pa, device);
         let e_partner = self.toss_endurance(partner, device);
@@ -171,7 +200,7 @@ impl TossUpWearLeveling {
             (2, 2 * migrate)
         };
         self.rt.swap_physical(pa, chosen);
-        twl_telemetry::counter!("twl.core.toss_swaps").inc();
+        self.metrics.toss_swaps.inc();
         Ok(TossResult {
             target: chosen,
             migration_writes,
@@ -197,7 +226,7 @@ impl TossUpWearLeveling {
             });
         }
         self.inter_pair_swaps += 1;
-        twl_telemetry::counter!("twl.core.inter_pair_swaps").inc();
+        self.metrics.inter_pair_swaps.inc();
         // Full content exchange: both frames are rewritten.
         device.write_page(pa)?;
         device.write_page(target)?;
@@ -282,11 +311,73 @@ impl WearLeveler for TossUpWearLeveling {
             blocking_cycles,
         };
         self.stats.record_write(&outcome);
-        twl_telemetry::counter!("twl.core.writes").inc();
+        self.metrics.writes.inc();
         if blocking_cycles > 0 {
-            twl_telemetry::histogram!("twl.core.blocking_cycles").record(blocking_cycles);
+            self.metrics.blocking_cycles.record(blocking_cycles);
         }
         Ok(outcome)
+    }
+
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        let mut batch = BatchOutcome::default();
+        let mut remaining = n;
+        while remaining > 0 {
+            // Distance to the next event at this address: the toss-up
+            // fires on the write that brings the WCT count to a multiple
+            // of its interval (checked *before* the request write), the
+            // inter-pair swap on the write that brings the global count
+            // to a multiple of its interval (checked *after*). Every
+            // write strictly before both boundaries is a plain wear bump
+            // on the currently mapped frame with no RNG draw, so the
+            // whole stretch collapses to one bulk device write.
+            let t = self.config.toss_up_interval;
+            let s = self.config.inter_pair_swap_interval;
+            let to_toss = t - self.wct.count(la) % t;
+            let to_swap = s - self.global_writes % s;
+            let plain = remaining.min(to_toss - 1).min(to_swap - 1);
+            if plain > 0 {
+                let pa = self.rt.translate(la);
+                let bulk = device.write_page_n(pa, plain);
+                self.wct.add(la, bulk.landed);
+                self.global_writes += bulk.landed;
+                if bulk.landed > 0 {
+                    let outcome = WriteOutcome {
+                        pa,
+                        device_writes: 1,
+                        swapped: false,
+                        engine_cycles: self.config.base_write_latency(),
+                        blocking_cycles: 0,
+                    };
+                    self.stats.record_write_n(&outcome, bulk.landed);
+                    self.metrics.writes.add(bulk.landed);
+                    batch.serviced += bulk.landed;
+                    batch.last = Some(outcome);
+                }
+                if let Some(e) = bulk.failure {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+                remaining -= plain;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            // The event write itself goes through the scalar path so the
+            // toss / inter-pair machinery (and its RNG draws) run
+            // exactly as in the per-write simulation.
+            match self.write(la, device) {
+                Ok(outcome) => {
+                    batch.serviced += 1;
+                    batch.last = Some(outcome);
+                    remaining -= 1;
+                }
+                Err(e) => {
+                    batch.failure = Some(e);
+                    return batch;
+                }
+            }
+        }
+        batch
     }
 
     fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
@@ -598,6 +689,58 @@ mod tests {
         }
         let ratio = twl.stats().extra_write_ratio();
         assert!((0.01..0.06).contains(&ratio), "extra-write ratio = {ratio}");
+    }
+
+    #[test]
+    fn write_batch_is_bit_identical_to_sequential_writes() {
+        // Batches of awkward sizes (straddling toss-up and inter-pair
+        // boundaries) must leave the engine, device, and RNG stream in
+        // exactly the per-write state.
+        let (mut dev_bulk, mut bulk) = setup(64, 1_000_000, 8);
+        let (mut dev_seq, mut seq) = setup(64, 1_000_000, 8);
+        let la = LogicalPageAddr::new(5);
+        for &n in &[1u64, 3, 7, 8, 9, 31, 32, 33, 128, 500] {
+            let batch = bulk.write_batch(la, n, &mut dev_bulk);
+            assert_eq!(batch.serviced, n);
+            assert!(batch.failure.is_none());
+            let mut last = None;
+            for _ in 0..n {
+                last = Some(seq.write(la, &mut dev_seq).unwrap());
+            }
+            assert_eq!(batch.last, last, "n = {n}");
+        }
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(bulk.toss_ups(), seq.toss_ups());
+        assert_eq!(bulk.inter_pair_swaps(), seq.inter_pair_swaps());
+        assert_eq!(bulk.remapping_table(), seq.remapping_table());
+        assert_eq!(dev_bulk.wear_counters(), dev_seq.wear_counters());
+        assert!(bulk.toss_ups() > 0, "the stress actually crossed events");
+    }
+
+    #[test]
+    fn write_batch_stops_at_the_failing_write() {
+        let pcm = PcmConfig::builder()
+            .pages(2)
+            .mean_endurance(50)
+            .sigma_fraction(0.0)
+            .build()
+            .unwrap();
+        let endurance = EnduranceMap::from_values(vec![50, 50]);
+        let mut device = PcmDevice::with_endurance(&pcm, endurance);
+        let config = TwlConfig::builder()
+            .toss_up_interval(u64::MAX - 1)
+            .inter_pair_swap_interval(u64::MAX)
+            .pairing(PairingStrategy::Adjacent)
+            .build()
+            .unwrap();
+        let mut twl = TossUpWearLeveling::new(&config, device.endurance_map());
+        let batch = twl.write_batch(LogicalPageAddr::new(0), 80, &mut device);
+        assert_eq!(batch.serviced, 50);
+        assert!(matches!(
+            batch.failure,
+            Some(PcmError::PageWornOut { addr, .. }) if addr.index() == 0
+        ));
+        assert_eq!(twl.stats().logical_writes, 50);
     }
 
     #[test]

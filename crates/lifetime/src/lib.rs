@@ -58,6 +58,7 @@ pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
 pub use report::{DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
 pub use scheme::{build_scheme, build_scheme_for_region, SchemeKind};
 pub use sim::{
-    run_attack, run_degradation_attack, run_degradation_workload, run_workload, SimLimits,
+    run_attack, run_attack_unbatched, run_degradation_attack, run_degradation_workload,
+    run_workload, run_workload_unbatched, SimLimits,
 };
 pub use sweep::{attack_matrix, degradation_matrix, gmean_years, workload_matrix};

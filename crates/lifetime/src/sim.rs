@@ -58,6 +58,16 @@ impl WriteSource<'_> {
             Self::Workload(workload) => workload.next_write_la(),
         }
     }
+
+    /// The batchability contract of [`AttackStream::next_run`], lifted
+    /// over both source kinds. Workloads interleave reads and vary
+    /// their addresses per write, so they always declare runs of 1.
+    fn next_run(&mut self, feedback: Option<&WriteOutcome>, max: u64) -> (LogicalPageAddr, u64) {
+        match self {
+            Self::Attack(attack) => attack.next_run(feedback, max),
+            Self::Workload(workload) => (workload.next_write_la(), 1),
+        }
+    }
 }
 
 /// Drives `attack` against `scheme` on `device` until a page wears out.
@@ -65,6 +75,11 @@ impl WriteSource<'_> {
 /// The attack receives each write's [`WriteOutcome`] as feedback — that
 /// is the timing side channel of §3.2. The returned report carries the
 /// scale-invariant capacity fraction and calibrated years.
+///
+/// Runs the event-skipping batched loop: streams that declare
+/// deterministic runs (see [`AttackStream::next_run`]) are fast-forwarded
+/// through [`WearLeveler::write_batch`], producing a report bit-identical
+/// to [`run_attack_unbatched`] for the same seed.
 ///
 /// The attack must generate addresses within `scheme.page_count()`.
 pub fn run_attack(
@@ -76,6 +91,27 @@ pub fn run_attack(
 ) -> LifetimeReport {
     let workload_name = attack.name().to_owned();
     drive(
+        scheme,
+        device,
+        WriteSource::Attack(attack),
+        &workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// The per-write reference loop behind [`run_attack`] — same semantics,
+/// no batching. Kept as the equivalence oracle for the fast path and as
+/// the baseline of the `throughput` bench.
+pub fn run_attack_unbatched(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    attack: &mut dyn AttackStream,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    let workload_name = attack.name().to_owned();
+    drive_unbatched(
         scheme,
         device,
         WriteSource::Attack(attack),
@@ -107,9 +143,91 @@ pub fn run_workload(
     )
 }
 
-/// The shared fail-stop loop: write until the first worn-out page or
-/// the write budget, whichever comes first.
+/// The per-write reference loop behind [`run_workload`] — same
+/// semantics, no batching.
+pub fn run_workload_unbatched(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    workload: &mut SyntheticWorkload,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    drive_unbatched(
+        scheme,
+        device,
+        WriteSource::Workload(workload),
+        workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// The batched fail-stop loop: ask the source for its next deterministic
+/// run, service it through [`WearLeveler::write_batch`] (which collapses
+/// event-free stretches into O(1) bulk device writes), and stop at the
+/// first worn-out page or the write budget, whichever comes first.
+///
+/// Equivalence with [`drive_unbatched`]: a run of length `len` promises
+/// the source would have produced the same address for `len` per-write
+/// calls regardless of feedback, and `write_batch` promises state
+/// identical to `len` scalar writes — so the only observable difference
+/// is wear-snapshot granularity (see [`RunTelemetry::observe_batch`]).
 fn drive(
+    scheme: &mut dyn WearLeveler,
+    device: &mut PcmDevice,
+    mut source: WriteSource<'_>,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> LifetimeReport {
+    let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
+    let mut feedback: Option<WriteOutcome> = None;
+    let mut logical_writes = 0u64;
+    let mut failure = None;
+    while logical_writes < limits.max_logical_writes {
+        let budget = limits.max_logical_writes - logical_writes;
+        let (la, len) = source.next_run(feedback.as_ref(), budget);
+        let len = len.clamp(1, budget);
+        let device_writes_before = device.total_writes();
+        let batch = scheme.write_batch(la, len, device);
+        if batch.serviced > 0 {
+            logical_writes += batch.serviced;
+            telemetry.observe_batch(
+                la,
+                batch.serviced,
+                device.total_writes() - device_writes_before,
+                device,
+            );
+            feedback = batch.last;
+        }
+        match batch.failure {
+            Some(PcmError::PageWornOut { addr, .. }) => {
+                failure = Some(addr);
+                break;
+            }
+            Some(e) => unreachable!("lifetime sim hit a non-wear-out device error: {e}"),
+            None => assert!(
+                batch.serviced == len,
+                "write_batch serviced {} of {len} writes without failing",
+                batch.serviced
+            ),
+        }
+    }
+    let alarm_rate = telemetry.end(device);
+    finish(
+        scheme,
+        device,
+        workload_name.to_owned(),
+        logical_writes,
+        failure,
+        calibration,
+        alarm_rate,
+    )
+}
+
+/// The per-write fail-stop loop: the pre-batching reference semantics.
+fn drive_unbatched(
     scheme: &mut dyn WearLeveler,
     device: &mut PcmDevice,
     mut source: WriteSource<'_>,
@@ -194,10 +312,18 @@ pub fn run_degradation_workload(
     )
 }
 
-/// The shared graceful-degradation loop: after every serviced write the
-/// fault engine absorbs new cell faults; each retirement appends a
+/// The shared graceful-degradation loop: the fault engine absorbs new
+/// cell faults after every serviced batch; each retirement appends a
 /// curve point (and a `degradation_point` trace record), and
 /// [`PcmError::SparesExhausted`] ends the run.
+///
+/// Batching here trades fault-absorption granularity for speed: faults
+/// are derived from wear counters, so absorbing once per batch detects
+/// the same faults a per-write run would, only up to one batch of
+/// writes later. The batch cap below bounds that slack to a small
+/// fraction of the device's total endurance, keeping curve points and
+/// retirement ordering faithful — but unlike the fail-stop loop this
+/// path is *not* bit-identical to per-write simulation.
 fn drive_degraded(
     scheme: &mut dyn WearLeveler,
     domain: &mut FaultDomain,
@@ -217,18 +343,37 @@ fn drive_degraded(
     let mut first_retirement = None;
     let mut spare_exhausted = None;
     let mut end = DegradationEnd::WriteBudget;
+    // Absorb faults at least every ~0.1% of total endurance so no page
+    // overshoots its wear-out point by more than that before retiring.
+    let batch_cap = u64::try_from(device.endurance_map().total() / 1024)
+        .unwrap_or(u64::MAX)
+        .clamp(64, 4096);
     while logical_writes < limits.max_logical_writes {
-        let la = source.next_write(feedback.as_ref());
-        match scheme.write(la, device) {
-            Ok(out) => {
-                logical_writes += 1;
-                telemetry.observe(la, &out, device);
-                feedback = Some(out);
-            }
-            // Unlimited wear policy: the device never fail-stops, so
-            // any error here is a simulation bug.
-            Err(e) => unreachable!("degradation sim hit a device error: {e}"),
+        let budget = (limits.max_logical_writes - logical_writes).min(batch_cap);
+        let (la, len) = source.next_run(feedback.as_ref(), budget);
+        let len = len.clamp(1, budget);
+        let device_writes_before = device.total_writes();
+        let batch = scheme.write_batch(la, len, device);
+        if batch.serviced > 0 {
+            logical_writes += batch.serviced;
+            telemetry.observe_batch(
+                la,
+                batch.serviced,
+                device.total_writes() - device_writes_before,
+                device,
+            );
+            feedback = batch.last;
         }
+        // Unlimited wear policy: the device never fail-stops, so any
+        // error here is a simulation bug.
+        if let Some(e) = batch.failure {
+            unreachable!("degradation sim hit a device error: {e}");
+        }
+        assert!(
+            batch.serviced == len,
+            "write_batch serviced {} of {len} writes without failing",
+            batch.serviced
+        );
         match engine.absorb(device) {
             Ok(absorbed) => {
                 if absorbed.corrected_now > 0 && first_fault.is_none() {
@@ -338,6 +483,38 @@ impl RunTelemetry {
             scheme: scheme.name().to_owned(),
             workload: workload.to_owned(),
             active,
+        }
+    }
+
+    /// Batch-granular observation: the monitor replays the batch
+    /// exactly (one `Alarm` record per alarmed window close, identical
+    /// to per-write observation), while the wear sampler sees the whole
+    /// batch's device-write delta at once — snapshots land on batch
+    /// boundaries instead of exact cadence multiples, the one telemetry
+    /// divergence of the fast path.
+    fn observe_batch(
+        &mut self,
+        la: twl_pcm::LogicalPageAddr,
+        serviced: u64,
+        device_write_delta: u64,
+        device: &PcmDevice,
+    ) {
+        let Some((sampler, monitor)) = &mut self.active else {
+            return;
+        };
+        for (window, share) in monitor.observe_writes(la, serviced) {
+            twl_telemetry::emit(&TelemetryRecord::Alarm {
+                scheme: self.scheme.clone(),
+                window,
+                share,
+            });
+        }
+        if let Some(snapshot) = sampler.observe(device_write_delta, device.wear_counters()) {
+            twl_telemetry::emit(&TelemetryRecord::Wear {
+                scheme: self.scheme.clone(),
+                workload: self.workload.clone(),
+                snapshot: snapshot.clone(),
+            });
         }
     }
 

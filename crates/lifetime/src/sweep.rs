@@ -69,18 +69,57 @@ pub fn attack_matrix(
     })
 }
 
-/// Runs every cell on its own scoped thread, preserving order. Each
-/// cell owns its device and scheme, so the parallelism is trivially
-/// safe; the grid sizes here (tens of cells) match a workstation's
-/// cores well.
+/// Number of worker threads a sweep uses: `TWL_THREADS` when set to a
+/// positive integer, the machine's available parallelism otherwise, and
+/// never more than there are cells.
+fn worker_count(cells: usize) -> usize {
+    let configured = std::env::var("TWL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let workers = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    workers.min(cells).max(1)
+}
+
+/// Runs the cells on a bounded worker pool, preserving input order in
+/// the results. Each cell owns its device and scheme, so the
+/// parallelism is trivially safe; workers pull cells from a shared
+/// atomic cursor, so grids larger than the pool never oversubscribe
+/// the machine (override the pool size with `TWL_THREADS`).
 fn run_cells<C: Sync, R: Send>(cells: &[C], run: impl Fn(&C) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = cells.iter().map(|cell| scope.spawn(|| run(cell))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep cell panicked"))
-            .collect()
-    })
+        let handles: Vec<_> = (0..worker_count(cells.len()))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    *results[i].lock().expect("sweep result lock poisoned") = Some(run(cell));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sweep cell panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep result lock poisoned")
+                .expect("every cell ran")
+        })
+        .collect()
 }
 
 /// Runs every scheme against every attack on a fresh fault-tolerant
@@ -235,6 +274,22 @@ mod tests {
         }
         // TWL spreads the attack, so it reaches spare exhaustion later.
         assert!(reports[1].device_writes > reports[0].device_writes);
+    }
+
+    #[test]
+    fn run_cells_bounded_pool_preserves_order() {
+        let cells: Vec<u64> = (0..100).collect();
+        let out = run_cells(&cells, |&c| c * 2);
+        assert_eq!(out, (0..100).map(|c| c * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_cells(&empty, |&c: &u64| c).is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_cells() {
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(3) <= 3);
+        assert!(worker_count(10_000) >= 1);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The hard guarantee of the event-skipping fast path: for every
+//! scheme, attack, and seed, the batched fail-stop driver produces a
+//! report and a device wear map bit-identical to the per-write
+//! reference loop.
+
+use twl_attacks::{Attack, AttackKind};
+use twl_lifetime::{
+    build_scheme, run_attack, run_attack_unbatched, run_workload, run_workload_unbatched,
+    Calibration, LifetimeReport, SchemeKind, SimLimits,
+};
+use twl_pcm::{PcmConfig, PcmDevice};
+use twl_workloads::ParsecBenchmark;
+
+/// Every scheme the factory can build (64 pages is a power of two, so
+/// Security Refresh is included).
+const SCHEMES: [SchemeKind; 7] = [
+    SchemeKind::Nowl,
+    SchemeKind::Sr,
+    SchemeKind::Bwl,
+    SchemeKind::Wrl,
+    SchemeKind::StartGap,
+    SchemeKind::TwlSwp,
+    SchemeKind::TwlAp,
+];
+
+/// Repeat exercises the long-run fast path, scan and random the
+/// run-length-1 degradation, and inconsistent the feedback loop.
+const ATTACKS: [AttackKind; 4] = [
+    AttackKind::Repeat,
+    AttackKind::Scan,
+    AttackKind::Random,
+    AttackKind::Inconsistent,
+];
+
+fn attack_run(
+    kind: SchemeKind,
+    attack_kind: AttackKind,
+    seed: u64,
+    batched: bool,
+) -> (LifetimeReport, Vec<u64>) {
+    let pcm = PcmConfig::builder()
+        .pages(64)
+        .mean_endurance(2_000)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    let mut device = PcmDevice::new(&pcm);
+    let mut scheme = build_scheme(kind, &device).expect("scheme builds");
+    let mut attack = Attack::new(attack_kind, scheme.page_count(), seed);
+    let limits = SimLimits::default();
+    let calibration = Calibration::attack_8gbps();
+    let report = if batched {
+        run_attack(
+            scheme.as_mut(),
+            &mut device,
+            &mut attack,
+            &limits,
+            &calibration,
+        )
+    } else {
+        run_attack_unbatched(
+            scheme.as_mut(),
+            &mut device,
+            &mut attack,
+            &limits,
+            &calibration,
+        )
+    };
+    (report, device.wear_counters().to_vec())
+}
+
+#[test]
+fn batched_attacks_are_bit_identical_to_per_write_runs() {
+    for kind in SCHEMES {
+        for attack_kind in ATTACKS {
+            for seed in [1u64, 2, 3] {
+                let (batched, wear_batched) = attack_run(kind, attack_kind, seed, true);
+                let (scalar, wear_scalar) = attack_run(kind, attack_kind, seed, false);
+                assert_eq!(batched, scalar, "{kind} / {attack_kind} / seed {seed}");
+                assert_eq!(
+                    wear_batched, wear_scalar,
+                    "wear map: {kind} / {attack_kind} / seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_workload_runs_are_bit_identical_too() {
+    // Workloads always declare runs of 1; the batched driver must still
+    // reproduce the reference loop exactly through write_batch.
+    for kind in [SchemeKind::Nowl, SchemeKind::StartGap, SchemeKind::TwlSwp] {
+        let bench = ParsecBenchmark::Canneal;
+        let mut runs = Vec::new();
+        for batched in [true, false] {
+            let pcm = PcmConfig::builder()
+                .pages(64)
+                .mean_endurance(2_000)
+                .seed(5)
+                .build()
+                .expect("valid config");
+            let mut device = PcmDevice::new(&pcm);
+            let mut scheme = build_scheme(kind, &device).expect("scheme builds");
+            let mut workload = bench.workload(scheme.page_count(), 5);
+            let limits = SimLimits::default();
+            let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
+            let report = if batched {
+                run_workload(
+                    scheme.as_mut(),
+                    &mut device,
+                    &mut workload,
+                    bench.name(),
+                    &limits,
+                    &calibration,
+                )
+            } else {
+                run_workload_unbatched(
+                    scheme.as_mut(),
+                    &mut device,
+                    &mut workload,
+                    bench.name(),
+                    &limits,
+                    &calibration,
+                )
+            };
+            runs.push((report, device.wear_counters().to_vec()));
+        }
+        assert_eq!(runs[0], runs[1], "{kind} / canneal");
+    }
+}

@@ -73,6 +73,29 @@ pub struct DeviceSnapshot {
     retired_count: u64,
 }
 
+/// Outcome of a bulk page write ([`PcmDevice::write_page_n`]).
+///
+/// Carries how many of the requested writes landed (wear was charged)
+/// and, when the batch hit the page's endurance mid-way, the exact error
+/// the `landed + 1`-th per-write call would have returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulkWrite {
+    /// Writes that landed before any failure (all `n` on success).
+    pub landed: u64,
+    /// The wear-out the batch ran into, if any. Identical to the error
+    /// a sequence of [`PcmDevice::write_page`] calls would have produced
+    /// on the first failing write.
+    pub failure: Option<PcmError>,
+}
+
+impl BulkWrite {
+    /// Whether every requested write landed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
 /// A simulated PCM array with per-page wear accounting.
 ///
 /// Every write to a slot increments the backing physical page's wear
@@ -352,6 +375,55 @@ impl PcmDevice {
         Ok(())
     }
 
+    /// Writes one page `n` times in O(1), the bulk backbone of the
+    /// event-skipping fast path.
+    ///
+    /// Exactly equivalent to `n` sequential [`PcmDevice::write_page`]
+    /// calls: under [`WearPolicy::FailStop`] only the writes that fit
+    /// under the backing page's tested endurance land, and
+    /// [`BulkWrite::failure`] then carries the error the first failing
+    /// per-write call would have returned (the first-failure latch is
+    /// set identically). The write log coalesces the whole stretch into
+    /// a single entry — downstream fault absorption derives fault state
+    /// from wear counters, not from log multiplicity — and snapshots
+    /// taken after a bulk write restore exactly (wear still sums to the
+    /// write total).
+    ///
+    /// `n == 0` is a no-op that reports zero writes landed.
+    pub fn write_page_n(&mut self, addr: PhysicalPageAddr, n: u64) -> BulkWrite {
+        if let Err(e) = self.check_addr(addr) {
+            return BulkWrite {
+                landed: 0,
+                failure: Some(e),
+            };
+        }
+        let phys = self.forward[addr.as_usize()] as usize;
+        let landed = match self.policy {
+            WearPolicy::Unlimited => n,
+            WearPolicy::FailStop => {
+                let endurance = self.endurance.endurance(PhysicalPageAddr::new(phys as u64));
+                n.min(endurance.saturating_sub(self.wear[phys]))
+            }
+        };
+        if landed > 0 {
+            self.wear[phys] += landed;
+            self.total_writes += landed;
+            if let Some(log) = &mut self.write_log {
+                log.push(PhysicalPageAddr::new(phys as u64));
+            }
+        }
+        let failure = (landed < n).then(|| {
+            if self.first_failure.is_none() {
+                self.first_failure = Some(addr);
+            }
+            PcmError::PageWornOut {
+                addr,
+                writes: self.wear[phys],
+            }
+        });
+        BulkWrite { landed, failure }
+    }
+
     /// Reads one page. Reads do not wear PCM.
     ///
     /// # Errors
@@ -571,6 +643,122 @@ mod tests {
         assert_eq!(dev.first_failure(), Some(pa));
         assert!(dev.is_worn_out(pa));
         assert_eq!(dev.total_writes(), 3);
+    }
+
+    #[test]
+    fn bulk_write_matches_sequential_writes() {
+        let mut bulk = device(4, 10);
+        let mut seq = device(4, 10);
+        let pa = PhysicalPageAddr::new(1);
+        let out = bulk.write_page_n(pa, 7);
+        assert_eq!(
+            out,
+            BulkWrite {
+                landed: 7,
+                failure: None
+            }
+        );
+        assert!(out.complete());
+        for _ in 0..7 {
+            seq.write_page(pa).unwrap();
+        }
+        assert_eq!(bulk.wear(pa), seq.wear(pa));
+        assert_eq!(bulk.total_writes(), seq.total_writes());
+    }
+
+    #[test]
+    fn bulk_write_detects_mid_batch_wear_out() {
+        let mut dev = device(4, 5);
+        let pa = PhysicalPageAddr::new(0);
+        dev.write_page(pa).unwrap();
+        let out = dev.write_page_n(pa, 10);
+        assert_eq!(out.landed, 4, "exactly the writes under endurance land");
+        assert_eq!(
+            out.failure,
+            Some(PcmError::PageWornOut {
+                addr: pa,
+                writes: 5
+            })
+        );
+        assert_eq!(dev.first_failure(), Some(pa));
+        assert_eq!(dev.wear(pa), 5);
+        assert_eq!(dev.total_writes(), 5);
+    }
+
+    #[test]
+    fn bulk_write_on_worn_page_lands_nothing() {
+        let mut dev = device(4, 2);
+        let pa = PhysicalPageAddr::new(3);
+        dev.write_page_n(pa, 2);
+        let out = dev.write_page_n(pa, 3);
+        assert_eq!(out.landed, 0);
+        assert_eq!(
+            out.failure,
+            Some(PcmError::PageWornOut {
+                addr: pa,
+                writes: 2
+            })
+        );
+        assert_eq!(dev.total_writes(), 2);
+    }
+
+    #[test]
+    fn bulk_write_zero_is_a_noop() {
+        let mut dev = device(4, 2);
+        let pa = PhysicalPageAddr::new(0);
+        let out = dev.write_page_n(pa, 0);
+        assert_eq!(
+            out,
+            BulkWrite {
+                landed: 0,
+                failure: None
+            }
+        );
+        assert_eq!(dev.total_writes(), 0);
+        assert_eq!(dev.first_failure(), None);
+    }
+
+    #[test]
+    fn bulk_write_unlimited_never_fails() {
+        let mut dev = device(4, 2);
+        dev.set_wear_policy(WearPolicy::Unlimited);
+        let pa = PhysicalPageAddr::new(1);
+        let out = dev.write_page_n(pa, 100);
+        assert_eq!(out.landed, 100);
+        assert!(out.complete());
+        assert_eq!(dev.wear(pa), 100);
+        assert_eq!(dev.first_failure(), None);
+    }
+
+    #[test]
+    fn bulk_write_out_of_range_is_reported() {
+        let mut dev = device(4, 10);
+        let out = dev.write_page_n(PhysicalPageAddr::new(4), 3);
+        assert_eq!(out.landed, 0);
+        assert!(matches!(
+            out.failure,
+            Some(PcmError::AddrOutOfRange { index: 4, pages: 4 })
+        ));
+        assert_eq!(dev.first_failure(), None, "range errors are not wear-out");
+    }
+
+    #[test]
+    fn bulk_write_coalesces_one_log_entry() {
+        let mut dev = device(4, 10);
+        dev.enable_write_log();
+        dev.write_page_n(PhysicalPageAddr::new(2), 5);
+        let mut log = Vec::new();
+        dev.drain_write_log(&mut log);
+        assert_eq!(log, vec![PhysicalPageAddr::new(2)]);
+    }
+
+    #[test]
+    fn bulk_write_snapshot_roundtrips() {
+        let mut dev = device(8, 50);
+        dev.write_page_n(PhysicalPageAddr::new(3), 17);
+        let restored = PcmDevice::restore(dev.snapshot()).unwrap();
+        assert_eq!(restored.wear(PhysicalPageAddr::new(3)), 17);
+        assert_eq!(restored.total_writes(), 17);
     }
 
     #[test]

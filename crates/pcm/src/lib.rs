@@ -43,7 +43,7 @@ mod timing;
 pub use addr::{LogicalPageAddr, PhysicalPageAddr};
 pub use config::{PcmConfig, PcmConfigBuilder};
 pub use dcw::{DcwModel, BENIGN_BIT_FLIP_FRACTION};
-pub use device::{DeviceSnapshot, PcmDevice, WearPolicy};
+pub use device::{BulkWrite, DeviceSnapshot, PcmDevice, WearPolicy};
 pub use endurance::EnduranceMap;
 pub use error::PcmError;
 pub use stats::WearStats;

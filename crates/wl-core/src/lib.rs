@@ -48,7 +48,7 @@ mod traits;
 
 pub use monitor::{AttackMonitor, MisraGries};
 pub use nowl::Nowl;
-pub use outcome::{ReadOutcome, WriteOutcome};
+pub use outcome::{BatchOutcome, ReadOutcome, WriteOutcome};
 pub use stats::WlStats;
 pub use tables::{RemappingTable, WriteCounterTable};
 pub use traits::WearLeveler;

@@ -68,20 +68,44 @@ impl MisraGries {
 
     /// Inserts one occurrence of `key`.
     pub fn insert(&mut self, key: u64) {
-        self.total += 1;
+        self.insert_n(key, 1);
+    }
+
+    /// Inserts `n` occurrences of `key` in O(k), leaving the sketch in
+    /// exactly the state `n` sequential [`MisraGries::insert`] calls
+    /// would.
+    ///
+    /// The collapse is exact because repeated inserts of one key only
+    /// take three shapes: a tracked key just accumulates; an untracked
+    /// key with a free slot lands once and accumulates; and on a full
+    /// sketch the first `d` inserts (where `d` is the smallest tracked
+    /// count) each run the decrement-all step until a slot opens, after
+    /// which the remaining `n − d` land on the key.
+    pub fn insert_n(&mut self, key: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
         if let Some(entry) = self.counters.iter_mut().find(|(k, _)| *k == key) {
-            entry.1 += 1;
+            entry.1 += n;
             return;
         }
         if self.counters.len() < self.capacity {
-            self.counters.push((key, 1));
+            self.counters.push((key, n));
             return;
         }
-        // Decrement-all: the signature Misra-Gries step.
+        // Decrement-all, n times, collapsed (tracked counts are always
+        // ≥ 1, so d ≥ 1 and the n == 1 case never pushes — the
+        // signature Misra-Gries step).
+        let d = self.counters.iter().map(|&(_, c)| c).min().unwrap_or(0);
+        let drained = n.min(d);
         for entry in &mut self.counters {
-            entry.1 -= 1;
+            entry.1 -= drained;
         }
         self.counters.retain(|&(_, c)| c > 0);
+        if n > d {
+            self.counters.push((key, n - d));
+        }
     }
 
     /// Lower-bound estimate of `key`'s count (0 if untracked).
@@ -200,6 +224,37 @@ impl AttackMonitor {
         if self.seen_in_window < self.window_writes {
             return false;
         }
+        self.close_window().2
+    }
+
+    /// Feeds `n` consecutive writes to the same page, chunked at window
+    /// boundaries so every window closes with exactly the state the
+    /// per-write path would have produced.
+    ///
+    /// Returns `(window_index, share)` for each window that closed with
+    /// the alarm raised, so callers can emit the same per-window alarm
+    /// records as the scalar path.
+    pub fn observe_writes(&mut self, la: LogicalPageAddr, mut n: u64) -> Vec<(u64, f64)> {
+        let mut alarmed = Vec::new();
+        while n > 0 {
+            let room = self.window_writes - self.seen_in_window;
+            let chunk = n.min(room);
+            self.sketch.insert_n(la.index(), chunk);
+            self.seen_in_window += chunk;
+            n -= chunk;
+            if self.seen_in_window == self.window_writes {
+                let (window, share, alarm) = self.close_window();
+                if alarm {
+                    alarmed.push((window, share));
+                }
+            }
+        }
+        alarmed
+    }
+
+    /// Evaluates and resets the just-filled window, returning its index,
+    /// measured share, and whether it alarmed.
+    fn close_window(&mut self) -> (u64, f64, bool) {
         self.windows += 1;
         self.seen_in_window = 0;
         let share = self.sketch.tracked_share();
@@ -211,7 +266,7 @@ impl AttackMonitor {
             twl_telemetry::counter!("twl.wl.monitor.alarms").inc();
         }
         self.sketch.clear();
-        self.under_attack
+        (self.windows, share, self.under_attack)
     }
 
     /// Whether the most recent window looked like an attack.
@@ -329,6 +384,63 @@ mod tests {
             monitor.observe_write(LogicalPageAddr::new(i), None);
         }
         assert!(!monitor.under_attack());
+    }
+
+    #[test]
+    fn insert_n_matches_sequential_inserts() {
+        // Exercise every branch: tracked key, free slot, and the
+        // full-sketch decrement cascade (both n ≤ d and n > d).
+        for &(prefill, key, n) in &[
+            (0u64, 7u64, 5u64), // free slot
+            (4, 0, 3),          // already tracked
+            (4, 99, 2),         // full, n ≤ min count
+            (4, 99, 50),        // full, n > min count → key lands
+        ] {
+            let mut bulk = MisraGries::new(4);
+            let mut seq = MisraGries::new(4);
+            for k in 0..prefill {
+                for _ in 0..10 {
+                    bulk.insert(k);
+                    seq.insert(k);
+                }
+            }
+            bulk.insert_n(key, n);
+            for _ in 0..n {
+                seq.insert(key);
+            }
+            assert_eq!(bulk, seq, "prefill={prefill} key={key} n={n}");
+        }
+    }
+
+    #[test]
+    fn insert_n_zero_is_a_noop() {
+        let mut mg = MisraGries::new(2);
+        mg.insert_n(3, 0);
+        assert_eq!(mg.total(), 0);
+        assert_eq!(mg.estimate(3), 0);
+    }
+
+    #[test]
+    fn observe_writes_matches_per_write_observation() {
+        let mut bulk = AttackMonitor::new(8, 100, 0.5);
+        let mut seq = AttackMonitor::new(8, 100, 0.5);
+        let la = LogicalPageAddr::new(42);
+        // 37 writes of warm-up so batches straddle window boundaries.
+        for _ in 0..37 {
+            bulk.observe_write(la, None);
+            seq.observe_write(la, None);
+        }
+        let alarmed = bulk.observe_writes(la, 463);
+        let mut seq_alarmed = Vec::new();
+        for _ in 0..463 {
+            if seq.observe_write(la, None) {
+                seq_alarmed.push((seq.windows(), seq.last_window_share()));
+            }
+        }
+        assert_eq!(bulk, seq);
+        assert_eq!(alarmed, seq_alarmed);
+        assert_eq!(bulk.windows(), 5);
+        assert_eq!(bulk.alarms(), 5);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The "no wear leveling" baseline (NOWL in the paper's figures).
 
-use crate::{ReadOutcome, WearLeveler, WlStats, WriteOutcome};
+use crate::{BatchOutcome, ReadOutcome, WearLeveler, WlStats, WriteOutcome};
 use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
 
 /// Identity mapping with zero overhead: logical page *i* is physical
@@ -73,6 +73,23 @@ impl WearLeveler for Nowl {
         Ok(outcome)
     }
 
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        // NOWL has no events at all: the whole batch is one bulk write.
+        let pa = self.translate(la);
+        let bulk = device.write_page_n(pa, n);
+        let mut batch = BatchOutcome {
+            serviced: bulk.landed,
+            last: None,
+            failure: bulk.failure,
+        };
+        if bulk.landed > 0 {
+            let outcome = WriteOutcome::plain(pa);
+            self.stats.record_write_n(&outcome, bulk.landed);
+            batch.last = Some(outcome);
+        }
+        batch
+    }
+
     fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
         let pa = self.translate(la);
         device.read_page(pa)?;
@@ -107,6 +124,38 @@ mod tests {
         assert!(matches!(err, PcmError::PageWornOut { addr, .. } if addr.index() == 1));
         assert_eq!(nowl.stats().logical_writes, 10);
         assert_eq!(nowl.stats().swaps, 0);
+    }
+
+    #[test]
+    fn write_batch_matches_sequential_writes() {
+        let config = PcmConfig::builder()
+            .pages(4)
+            .mean_endurance(10)
+            .sigma_fraction(0.0)
+            .build()
+            .unwrap();
+        let mut dev_bulk = PcmDevice::new(&config);
+        let mut dev_seq = PcmDevice::new(&config);
+        let mut bulk = Nowl::new(4);
+        let mut seq = Nowl::new(4);
+        let la = LogicalPageAddr::new(2);
+        // 15 > endurance 10: the batch must stop at the failing write.
+        let batch = bulk.write_batch(la, 15, &mut dev_bulk);
+        let mut seq_serviced = 0;
+        let seq_failure = loop {
+            match seq.write(la, &mut dev_seq) {
+                Ok(_) => seq_serviced += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(batch.serviced, seq_serviced);
+        assert_eq!(batch.failure, Some(seq_failure));
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(dev_bulk.wear_counters(), dev_seq.wear_counters());
+        assert_eq!(
+            batch.last,
+            Some(WriteOutcome::plain(PhysicalPageAddr::new(2)))
+        );
     }
 
     #[test]

@@ -61,6 +61,26 @@ impl WriteOutcome {
     }
 }
 
+/// Result of servicing a batch of identical logical writes
+/// (`WearLeveler::write_batch`).
+///
+/// A batch is observably equivalent to `serviced` (+1 on failure)
+/// sequential `write` calls: `serviced` counts the writes that fully
+/// completed, `last` is the outcome the final completed write produced
+/// (the timing side channel consumes this once per event rather than
+/// once per write — plain stretches between events all share one
+/// outcome), and `failure` is the error the `serviced + 1`-th write hit,
+/// if any.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// Logical writes that completed.
+    pub serviced: u64,
+    /// Outcome of the last completed write (`None` iff `serviced == 0`).
+    pub last: Option<WriteOutcome>,
+    /// Error that stopped the batch early, if any.
+    pub failure: Option<twl_pcm::PcmError>,
+}
+
 /// Result of servicing one logical read.
 ///
 /// Reads never wear PCM; the outcome only reports where the data lives

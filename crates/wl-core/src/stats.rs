@@ -54,6 +54,18 @@ impl WlStats {
         self.blocking_cycles += outcome.blocking_cycles;
     }
 
+    /// Folds `n` identical write outcomes into the totals in O(1) — the
+    /// accounting arm of the batched fast path.
+    pub fn record_write_n(&mut self, outcome: &WriteOutcome, n: u64) {
+        self.logical_writes += n;
+        self.device_writes += n * u64::from(outcome.device_writes);
+        if outcome.swapped {
+            self.swaps += n;
+        }
+        self.engine_cycles += n * outcome.engine_cycles;
+        self.blocking_cycles += n * outcome.blocking_cycles;
+    }
+
     /// Swap operations per logical write (Fig. 7a's y-axis).
     #[must_use]
     pub fn swap_per_write(&self) -> f64 {
@@ -103,6 +115,24 @@ mod tests {
         assert_eq!(stats.extra_write_ratio(), 0.5);
         assert_eq!(stats.engine_cycles, 9);
         assert_eq!(stats.blocking_cycles, 2250);
+    }
+
+    #[test]
+    fn record_write_n_matches_repeated_record_write() {
+        let outcome = WriteOutcome {
+            pa: PhysicalPageAddr::new(1),
+            device_writes: 2,
+            swapped: true,
+            engine_cycles: 9,
+            blocking_cycles: 50,
+        };
+        let mut bulk = WlStats::new();
+        bulk.record_write_n(&outcome, 5);
+        let mut seq = WlStats::new();
+        for _ in 0..5 {
+            seq.record_write(&outcome);
+        }
+        assert_eq!(bulk, seq);
     }
 
     #[test]

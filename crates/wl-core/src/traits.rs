@@ -1,6 +1,6 @@
 //! The `WearLeveler` trait.
 
-use crate::{ReadOutcome, WlStats, WriteOutcome};
+use crate::{BatchOutcome, ReadOutcome, WlStats, WriteOutcome};
 use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
 
 /// A wear-leveling scheme sitting between logical addresses and a
@@ -41,6 +41,36 @@ pub trait WearLeveler {
         la: LogicalPageAddr,
         device: &mut PcmDevice,
     ) -> Result<WriteOutcome, PcmError>;
+
+    /// Services `n` consecutive writes to the same logical page.
+    ///
+    /// This is the scheme-level hook of the event-skipping fast path.
+    /// The contract is strict: for any scheme state, `write_batch(la, n)`
+    /// must leave the scheme, its stats, and the device in exactly the
+    /// state `n` sequential `write(la)` calls would have, and must stop
+    /// at the first failing write (reporting it in
+    /// [`BatchOutcome::failure`] with the completed count in
+    /// [`BatchOutcome::serviced`]). The default implementation simply
+    /// loops the scalar path, so every scheme is correct for free;
+    /// schemes whose inter-event write path is deterministic (the TWL
+    /// engine, NOWL, BWL, Start-Gap) override it to fast-forward plain
+    /// stretches with bulk device writes.
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        let mut batch = BatchOutcome::default();
+        for _ in 0..n {
+            match self.write(la, device) {
+                Ok(outcome) => {
+                    batch.serviced += 1;
+                    batch.last = Some(outcome);
+                }
+                Err(e) => {
+                    batch.failure = Some(e);
+                    break;
+                }
+            }
+        }
+        batch
+    }
 
     /// Services a logical read.
     ///
