@@ -19,6 +19,11 @@
 //!   pages retire to spares, and the run ends at spare-pool exhaustion
 //!   with a full [`DegradationReport`] curve instead of a single
 //!   failure point.
+//! * [`attack_matrix`] / [`workload_matrix`] / [`degradation_matrix`] —
+//!   scheme × attack / workload grids on the bounded worker pool of
+//!   [`pool`]; [`run_attack_cell`] and friends run one grid slot in
+//!   isolation, bit-identical to its matrix position (the unit of
+//!   checkpoint/resume in `twl-service`).
 //! * [`LifetimeReport`] — writes survived, fraction of ideal capacity,
 //!   calibrated years.
 //! * [`Calibration`] — the years conversion (see `DESIGN.md` §3): the
@@ -49,6 +54,7 @@
 //! ```
 
 mod calibrate;
+pub mod pool;
 mod report;
 mod scheme;
 mod sim;
@@ -61,4 +67,7 @@ pub use sim::{
     run_attack, run_attack_unbatched, run_degradation_attack, run_degradation_workload,
     run_workload, run_workload_unbatched, SimLimits,
 };
-pub use sweep::{attack_matrix, degradation_matrix, gmean_years, workload_matrix};
+pub use sweep::{
+    attack_matrix, degradation_matrix, gmean_years, run_attack_cell, run_degradation_cell,
+    run_workload_cell, workload_matrix,
+};

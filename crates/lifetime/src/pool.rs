@@ -1,0 +1,103 @@
+//! The shared bounded worker pool.
+//!
+//! Sweeps ([`crate::attack_matrix`] and friends) and the `twl-service`
+//! daemon both need "run N independent units of work on a bounded set
+//! of threads". This module is the single place that decides how many
+//! workers that is — so the `TWL_THREADS` override is honored in
+//! exactly one spot — and provides the order-preserving fan-out used by
+//! the sweep grids.
+
+/// Worker threads the process should use for embarrassingly parallel
+/// work: `TWL_THREADS` when set to a positive integer, the machine's
+/// available parallelism otherwise.
+///
+/// # Examples
+///
+/// ```
+/// let workers = twl_lifetime::pool::configured_parallelism();
+/// assert!(workers >= 1);
+/// ```
+#[must_use]
+pub fn configured_parallelism() -> usize {
+    let configured = std::env::var("TWL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Number of worker threads a `cells`-unit workload uses:
+/// [`configured_parallelism`], but never more than there are cells and
+/// never zero.
+#[must_use]
+pub fn worker_count(cells: usize) -> usize {
+    configured_parallelism().min(cells).max(1)
+}
+
+/// Runs the cells on a bounded worker pool, preserving input order in
+/// the results. Each cell owns its state, so the parallelism is
+/// trivially safe; workers pull cells from a shared atomic cursor, so
+/// grids larger than the pool never oversubscribe the machine (override
+/// the pool size with `TWL_THREADS`).
+pub fn run_cells<C: Sync, R: Send>(cells: &[C], run: impl Fn(&C) -> R + Sync) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count(cells.len()))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    *results[i].lock().expect("pool result lock poisoned") = Some(run(cell));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool cell panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool result lock poisoned")
+                .expect("every cell ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_bounded_pool_preserves_order() {
+        let cells: Vec<u64> = (0..100).collect();
+        let out = run_cells(&cells, |&c| c * 2);
+        assert_eq!(out, (0..100).map(|c| c * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(run_cells(&empty, |&c: &u64| c).is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_cells() {
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(3) <= 3);
+        assert!(worker_count(10_000) >= 1);
+        assert_eq!(worker_count(10_000).max(1), worker_count(10_000));
+    }
+
+    #[test]
+    fn configured_parallelism_is_positive() {
+        assert!(configured_parallelism() >= 1);
+    }
+}

@@ -3,7 +3,18 @@
 //!
 //! The figure-regenerating binaries in `twl-bench` are thin wrappers
 //! over these helpers; library users get the same sweeps as data.
+//!
+//! Each matrix is a grid of *cells*, and every cell is independent: it
+//! builds its own fresh device (and scheme, and attack) from the shared
+//! [`PcmConfig`], so a cell's report is a pure function of the config
+//! and the cell coordinates. The single-cell entry points
+//! ([`run_attack_cell`], [`run_workload_cell`], [`run_degradation_cell`])
+//! expose exactly the computation one matrix slot performs — that is
+//! what makes matrix jobs resumable in `twl-service`: a checkpoint
+//! stores completed cells, and a resumed run re-executes only the
+//! missing ones, with results bit-identical to an uninterrupted sweep.
 
+use crate::pool::run_cells;
 use crate::{
     build_scheme, build_scheme_for_region, run_attack, run_degradation_attack, run_workload,
     Calibration, DegradationReport, LifetimeReport, SchemeKind, SimLimits,
@@ -12,6 +23,98 @@ use twl_attacks::{Attack, AttackKind};
 use twl_faults::{provision, FaultConfig};
 use twl_pcm::{PcmConfig, PcmDevice};
 use twl_workloads::ParsecBenchmark;
+
+/// Runs one cell of an [`attack_matrix`]: `scheme` under `attack` on a
+/// fresh device drawn from `pcm`, with the attack-rate calibration.
+///
+/// Deterministic: the report depends only on the arguments.
+///
+/// # Panics
+///
+/// Panics if the scheme cannot be built for the device geometry.
+#[must_use]
+pub fn run_attack_cell(
+    pcm: &PcmConfig,
+    kind: SchemeKind,
+    attack_kind: AttackKind,
+    limits: &SimLimits,
+) -> LifetimeReport {
+    let calibration = Calibration::attack_8gbps();
+    let mut device = PcmDevice::new(pcm);
+    let mut scheme = build_scheme(kind, &device)
+        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    run_attack(
+        scheme.as_mut(),
+        &mut device,
+        &mut attack,
+        limits,
+        &calibration,
+    )
+}
+
+/// Runs one cell of a [`workload_matrix`]: `scheme` under `bench`'s
+/// calibrated synthetic workload on a fresh device drawn from `pcm`.
+///
+/// Deterministic: the report depends only on the arguments.
+///
+/// # Panics
+///
+/// Panics if the scheme cannot be built for the device geometry.
+#[must_use]
+pub fn run_workload_cell(
+    pcm: &PcmConfig,
+    kind: SchemeKind,
+    bench: ParsecBenchmark,
+    limits: &SimLimits,
+) -> LifetimeReport {
+    let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
+    let mut device = PcmDevice::new(pcm);
+    let mut scheme = build_scheme(kind, &device)
+        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut workload = bench.workload(pcm.pages, pcm.seed);
+    run_workload(
+        scheme.as_mut(),
+        &mut device,
+        &mut workload,
+        bench.name(),
+        limits,
+        &calibration,
+    )
+}
+
+/// Runs one cell of a [`degradation_matrix`]: `scheme` under `attack`
+/// on a fresh fault-tolerant domain provisioned from `pcm` and
+/// `fault_cfg`, followed to spare-pool exhaustion.
+///
+/// Deterministic: the report depends only on the arguments.
+///
+/// # Panics
+///
+/// Panics if the fault config is invalid or the scheme cannot be built
+/// for the data-region geometry.
+#[must_use]
+pub fn run_degradation_cell(
+    pcm: &PcmConfig,
+    fault_cfg: &FaultConfig,
+    kind: SchemeKind,
+    attack_kind: AttackKind,
+    limits: &SimLimits,
+) -> DegradationReport {
+    let calibration = Calibration::attack_8gbps();
+    let mut domain =
+        provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
+    let mut scheme = build_scheme_for_region(kind, &domain.device, domain.data_pages)
+        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    run_degradation_attack(
+        scheme.as_mut(),
+        &mut domain,
+        &mut attack,
+        limits,
+        &calibration,
+    )
+}
 
 /// Runs every scheme in `schemes` against every attack in `attacks` on
 /// a fresh device drawn from `pcm`, returning reports in
@@ -49,77 +152,13 @@ pub fn attack_matrix(
     attacks: &[AttackKind],
     limits: &SimLimits,
 ) -> Vec<LifetimeReport> {
-    let calibration = Calibration::attack_8gbps();
     let cells: Vec<(SchemeKind, AttackKind)> = schemes
         .iter()
         .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
         .collect();
     run_cells(&cells, |&(kind, attack_kind)| {
-        let mut device = PcmDevice::new(pcm);
-        let mut scheme = build_scheme(kind, &device)
-            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
-        let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
-        run_attack(
-            scheme.as_mut(),
-            &mut device,
-            &mut attack,
-            limits,
-            &calibration,
-        )
+        run_attack_cell(pcm, kind, attack_kind, limits)
     })
-}
-
-/// Number of worker threads a sweep uses: `TWL_THREADS` when set to a
-/// positive integer, the machine's available parallelism otherwise, and
-/// never more than there are cells.
-fn worker_count(cells: usize) -> usize {
-    let configured = std::env::var("TWL_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0);
-    let workers = configured.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
-    workers.min(cells).max(1)
-}
-
-/// Runs the cells on a bounded worker pool, preserving input order in
-/// the results. Each cell owns its device and scheme, so the
-/// parallelism is trivially safe; workers pull cells from a shared
-/// atomic cursor, so grids larger than the pool never oversubscribe
-/// the machine (override the pool size with `TWL_THREADS`).
-fn run_cells<C: Sync, R: Send>(cells: &[C], run: impl Fn(&C) -> R + Sync) -> Vec<R> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..worker_count(cells.len()))
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    *results[i].lock().expect("sweep result lock poisoned") = Some(run(cell));
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("sweep cell panicked");
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("sweep result lock poisoned")
-                .expect("every cell ran")
-        })
-        .collect()
 }
 
 /// Runs every scheme against every attack on a fresh fault-tolerant
@@ -139,24 +178,12 @@ pub fn degradation_matrix(
     attacks: &[AttackKind],
     limits: &SimLimits,
 ) -> Vec<DegradationReport> {
-    let calibration = Calibration::attack_8gbps();
     let cells: Vec<(SchemeKind, AttackKind)> = schemes
         .iter()
         .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
         .collect();
     run_cells(&cells, |&(kind, attack_kind)| {
-        let mut domain =
-            provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
-        let mut scheme = build_scheme_for_region(kind, &domain.device, domain.data_pages)
-            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
-        let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
-        run_degradation_attack(
-            scheme.as_mut(),
-            &mut domain,
-            &mut attack,
-            limits,
-            &calibration,
-        )
+        run_degradation_cell(pcm, fault_cfg, kind, attack_kind, limits)
     })
 }
 
@@ -179,19 +206,7 @@ pub fn workload_matrix(
         .flat_map(|&s| benchmarks.iter().map(move |&b| (s, b)))
         .collect();
     run_cells(&cells, |&(kind, bench)| {
-        let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
-        let mut device = PcmDevice::new(pcm);
-        let mut scheme = build_scheme(kind, &device)
-            .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
-        let mut workload = bench.workload(pcm.pages, pcm.seed);
-        run_workload(
-            scheme.as_mut(),
-            &mut device,
-            &mut workload,
-            bench.name(),
-            limits,
-            &calibration,
-        )
+        run_workload_cell(pcm, kind, bench, limits)
     })
 }
 
@@ -235,6 +250,28 @@ mod tests {
     }
 
     #[test]
+    fn single_cells_equal_their_matrix_slots() {
+        let pcm = pcm();
+        let limits = SimLimits::default();
+        let matrix = attack_matrix(
+            &pcm,
+            &[SchemeKind::Nowl, SchemeKind::TwlSwp],
+            &[AttackKind::Repeat, AttackKind::Scan],
+            &limits,
+        );
+        // Re-running any one cell in isolation is bit-identical to the
+        // matrix slot — the contract checkpoint/resume relies on.
+        assert_eq!(
+            run_attack_cell(&pcm, SchemeKind::TwlSwp, AttackKind::Scan, &limits),
+            matrix[3]
+        );
+        assert_eq!(
+            run_attack_cell(&pcm, SchemeKind::Nowl, AttackKind::Repeat, &limits),
+            matrix[0]
+        );
+    }
+
+    #[test]
     fn workload_matrix_uses_per_benchmark_calibration() {
         let reports = workload_matrix(
             &pcm(),
@@ -274,22 +311,17 @@ mod tests {
         }
         // TWL spreads the attack, so it reaches spare exhaustion later.
         assert!(reports[1].device_writes > reports[0].device_writes);
-    }
-
-    #[test]
-    fn run_cells_bounded_pool_preserves_order() {
-        let cells: Vec<u64> = (0..100).collect();
-        let out = run_cells(&cells, |&c| c * 2);
-        assert_eq!(out, (0..100).map(|c| c * 2).collect::<Vec<_>>());
-        let empty: Vec<u64> = Vec::new();
-        assert!(run_cells(&empty, |&c: &u64| c).is_empty());
-    }
-
-    #[test]
-    fn worker_count_is_bounded_by_cells() {
-        assert_eq!(worker_count(1), 1);
-        assert!(worker_count(3) <= 3);
-        assert!(worker_count(10_000) >= 1);
+        // And its cell entry point reproduces the matrix slot exactly.
+        assert_eq!(
+            run_degradation_cell(
+                &pcm(),
+                &fault_cfg,
+                SchemeKind::TwlSwp,
+                AttackKind::Repeat,
+                &SimLimits::default(),
+            ),
+            reports[1]
+        );
     }
 
     #[test]

@@ -1,0 +1,484 @@
+//! `twl-ctl`: the client CLI for `twl-serviced`.
+//!
+//! ```text
+//! twl-ctl [--addr HOST:PORT] ping
+//! twl-ctl [--addr HOST:PORT] submit [spec flags] [--wait] [--format table|json]
+//! twl-ctl [--addr HOST:PORT] status [JOB_ID] [--format table|json]
+//! twl-ctl [--addr HOST:PORT] wait JOB_ID [--format table|json]
+//! twl-ctl [--addr HOST:PORT] cancel JOB_ID
+//! twl-ctl [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! Spec flags: `--kind K` (attack_matrix, workload_matrix,
+//! degradation_matrix, lifetime_run), `--pages N`, `--endurance N`,
+//! `--seed N`, `--sigma F`, `--schemes A,B`, `--attacks A,B`,
+//! `--benchmarks A,B`, `--max-writes N`, `--retries N` (submit retries
+//! under backpressure), or `--spec FILE` to submit a raw JSON spec.
+//!
+//! The default address is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
+//! Progress events go to stderr; results go to stdout — `--format
+//! json` emits the result document verbatim for scripting, the default
+//! table matches the twl-bench binaries.
+
+use std::process::ExitCode;
+
+use twl_service::job::{parse_attack, parse_benchmark, parse_scheme, JobKind, JobReports, JobSpec};
+use twl_service::wire::{JobEvent, JobSnapshot};
+use twl_service::{decode_result, Client, SubmitOutcome};
+use twl_telemetry::json::{int, str, Json};
+
+use twl_lifetime::{DegradationReport, LifetimeReport, SchemeKind, SimLimits};
+use twl_pcm::PcmConfig;
+
+const USAGE: &str =
+    "usage: twl-ctl [--addr HOST:PORT] <ping|submit|status|wait|cancel|shutdown> [...]
+run `twl-ctl` with no command for the full flag list";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+}
+
+fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "table" => Ok(Format::Table),
+        "json" => Ok(Format::Json),
+        other => Err(format!("unknown format `{other}` (expected table or json)")),
+    }
+}
+
+struct SpecFlags {
+    kind: JobKind,
+    pages: u64,
+    endurance: u64,
+    seed: u64,
+    sigma: Option<f64>,
+    schemes: Vec<SchemeKind>,
+    attacks: Vec<twl_attacks::AttackKind>,
+    benchmarks: Vec<twl_workloads::ParsecBenchmark>,
+    max_writes: Option<u64>,
+    spec_file: Option<String>,
+}
+
+impl Default for SpecFlags {
+    fn default() -> Self {
+        Self {
+            kind: JobKind::AttackMatrix,
+            pages: 4096,
+            endurance: 50_000,
+            seed: 42,
+            sigma: None,
+            schemes: SchemeKind::FIG6.to_vec(),
+            attacks: twl_attacks::AttackKind::ALL.to_vec(),
+            benchmarks: twl_workloads::ParsecBenchmark::ALL.to_vec(),
+            max_writes: None,
+            spec_file: None,
+        }
+    }
+}
+
+impl SpecFlags {
+    fn build(self) -> Result<JobSpec, String> {
+        if let Some(path) = &self.spec_file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec file {path}: {e}"))?;
+            let spec = JobSpec::from_json(&Json::parse(&text)?)?;
+            spec.validate()?;
+            return Ok(spec);
+        }
+        let mut builder = PcmConfig::builder();
+        builder
+            .pages(self.pages)
+            .mean_endurance(self.endurance)
+            .seed(self.seed);
+        if let Some(sigma) = self.sigma {
+            builder.sigma_fraction(sigma);
+        }
+        let pcm = builder.build().map_err(|e| e.to_string())?;
+        let limits = self
+            .max_writes
+            .map_or_else(SimLimits::default, |n| SimLimits {
+                max_logical_writes: n,
+            });
+        let spec = JobSpec {
+            kind: self.kind,
+            pcm,
+            limits,
+            schemes: self.schemes,
+            attacks: self.attacks,
+            benchmarks: self.benchmarks,
+            fault: None,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn split_list(value: &str) -> Vec<&str> {
+    value
+        .split(',')
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn addr_default() -> String {
+    std::env::var("TWL_SERVICE_ADDR").unwrap_or_else(|_| "127.0.0.1:7781".to_owned())
+}
+
+fn print_event(event: &JobEvent) {
+    match event {
+        JobEvent::Queued => eprintln!("job queued"),
+        JobEvent::Started => eprintln!("job started"),
+        JobEvent::CellDone {
+            cell,
+            total,
+            scheme,
+            workload,
+        } => eprintln!("cell {}/{total} done: {scheme} under {workload}", cell + 1),
+        JobEvent::Checkpointed { cells_done } => {
+            eprintln!("checkpointed ({cells_done} cells persisted)");
+        }
+        JobEvent::Finished { status } => eprintln!("job finished: {status}"),
+    }
+}
+
+fn lifetime_rows(reports: &[LifetimeReport]) -> Vec<Vec<String>> {
+    reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.workload.clone(),
+                r.logical_writes.to_string(),
+                r.device_writes.to_string(),
+                format!("{:.4}", r.capacity_fraction),
+                format!("{:.3}", r.years),
+                format!("{:.4}", r.swap_per_write),
+                format!("{:.4}", r.wear_gini),
+            ]
+        })
+        .collect()
+}
+
+fn degradation_rows(reports: &[DegradationReport]) -> Vec<Vec<String>> {
+    reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.workload.clone(),
+                r.device_writes.to_string(),
+                r.corrected_groups.to_string(),
+                r.retired_pages.to_string(),
+                format!("{:?}", r.end),
+                format!("{:.3}", r.years),
+            ]
+        })
+        .collect()
+}
+
+fn print_result(result: &Json, format: Format) -> Result<(), String> {
+    match format {
+        Format::Json => {
+            println!("{}", result.to_compact());
+            Ok(())
+        }
+        Format::Table => match decode_result(result)? {
+            JobReports::Lifetime(reports) => {
+                print!(
+                    "{}",
+                    twl_bench::format_table(
+                        &[
+                            "scheme",
+                            "workload",
+                            "logical_wr",
+                            "device_wr",
+                            "capacity",
+                            "years",
+                            "swap/wr",
+                            "gini"
+                        ],
+                        &lifetime_rows(&reports),
+                    )
+                );
+                Ok(())
+            }
+            JobReports::Degradation(reports) => {
+                print!(
+                    "{}",
+                    twl_bench::format_table(
+                        &[
+                            "scheme",
+                            "workload",
+                            "device_wr",
+                            "corrected",
+                            "retired",
+                            "end",
+                            "years"
+                        ],
+                        &degradation_rows(&reports),
+                    )
+                );
+                Ok(())
+            }
+        },
+    }
+}
+
+fn print_status(jobs: &[JobSnapshot], format: Format) {
+    match format {
+        Format::Json => {
+            let arr = Json::Arr(
+                jobs.iter()
+                    .map(|j| {
+                        Json::obj([
+                            ("job_id", int(j.job_id)),
+                            ("kind", str(&j.kind)),
+                            ("status", str(&j.status)),
+                            ("cells_done", int(j.cells_done)),
+                            ("cells_total", int(j.cells_total)),
+                            ("error", j.error.as_deref().map_or(Json::Null, str)),
+                        ])
+                    })
+                    .collect(),
+            );
+            println!("{}", arr.to_compact());
+        }
+        Format::Table => {
+            let rows: Vec<Vec<String>> = jobs
+                .iter()
+                .map(|j| {
+                    vec![
+                        j.job_id.to_string(),
+                        j.kind.clone(),
+                        j.status.clone(),
+                        format!("{}/{}", j.cells_done, j.cells_total),
+                        j.error.clone().unwrap_or_default(),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                twl_bench::format_table(&["job", "kind", "status", "cells", "error"], &rows)
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = addr_default();
+    let mut rest = args;
+    while let [flag, value, tail @ ..] = rest {
+        if flag == "--addr" {
+            addr = value.clone();
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    let [command, command_args @ ..] = rest else {
+        return Err(USAGE.to_owned());
+    };
+
+    match command.as_str() {
+        "ping" => {
+            let _ = Client::connect(&addr).map_err(|e| e.to_string())?;
+            println!("ok: daemon at {addr} speaks {}", twl_service::PROTOCOL);
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            let mut flags = SpecFlags::default();
+            let mut wait = false;
+            let mut format = Format::Table;
+            let mut retries = 1u32;
+            let mut iter = command_args.iter();
+            while let Some(flag) = iter.next() {
+                let mut value = |name: &str| {
+                    iter.next()
+                        .map(String::as_str)
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--kind" => flags.kind = JobKind::parse(value("--kind")?)?,
+                    "--pages" => {
+                        flags.pages = value("--pages")?
+                            .parse()
+                            .map_err(|e| format!("bad --pages: {e}"))?;
+                    }
+                    "--endurance" => {
+                        flags.endurance = value("--endurance")?
+                            .parse()
+                            .map_err(|e| format!("bad --endurance: {e}"))?;
+                    }
+                    "--seed" => {
+                        flags.seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--sigma" => {
+                        flags.sigma = Some(
+                            value("--sigma")?
+                                .parse()
+                                .map_err(|e| format!("bad --sigma: {e}"))?,
+                        );
+                    }
+                    "--schemes" => {
+                        flags.schemes = split_list(value("--schemes")?)
+                            .into_iter()
+                            .map(parse_scheme)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--attacks" => {
+                        flags.attacks = split_list(value("--attacks")?)
+                            .into_iter()
+                            .map(parse_attack)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--benchmarks" => {
+                        flags.benchmarks = split_list(value("--benchmarks")?)
+                            .into_iter()
+                            .map(parse_benchmark)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--max-writes" => {
+                        flags.max_writes = Some(
+                            value("--max-writes")?
+                                .parse()
+                                .map_err(|e| format!("bad --max-writes: {e}"))?,
+                        );
+                    }
+                    "--spec" => flags.spec_file = Some(value("--spec")?.to_owned()),
+                    "--retries" => {
+                        retries = value("--retries")?
+                            .parse()
+                            .map_err(|e| format!("bad --retries: {e}"))?;
+                    }
+                    "--wait" => wait = true,
+                    "--format" => format = parse_format(value("--format")?)?,
+                    other => return Err(format!("unknown submit flag {other}")),
+                }
+            }
+            let spec = flags.build()?;
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            if retries > 1 {
+                let job_id = client
+                    .submit_with_retry(&spec, retries)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("submitted job {job_id}");
+                if wait {
+                    let result = client
+                        .wait(job_id, print_event)
+                        .map_err(|e| e.to_string())?;
+                    print_result(&result, format)?;
+                } else {
+                    println!("{job_id}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            match client.submit(&spec).map_err(|e| e.to_string())? {
+                SubmitOutcome::Accepted(job_id) => {
+                    eprintln!("submitted job {job_id}");
+                    if wait {
+                        let result = client
+                            .wait(job_id, print_event)
+                            .map_err(|e| e.to_string())?;
+                        print_result(&result, format)?;
+                    } else {
+                        println!("{job_id}");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                SubmitOutcome::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    eprintln!("rejected: {reason} (retry after {retry_after_ms} ms)");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "status" => {
+            let mut job_id = None;
+            let mut format = Format::Table;
+            let mut iter = command_args.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--format" {
+                    let value = iter.next().ok_or("--format needs a value")?;
+                    format = parse_format(value)?;
+                } else {
+                    job_id = Some(
+                        arg.parse()
+                            .map_err(|e| format!("bad job id `{arg}`: {e}"))?,
+                    );
+                }
+            }
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let jobs = client.status(job_id).map_err(|e| e.to_string())?;
+            print_status(&jobs, format);
+            Ok(ExitCode::SUCCESS)
+        }
+        "wait" => {
+            let mut job_id = None;
+            let mut format = Format::Table;
+            let mut iter = command_args.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--format" {
+                    let value = iter.next().ok_or("--format needs a value")?;
+                    format = parse_format(value)?;
+                } else {
+                    job_id = Some(
+                        arg.parse()
+                            .map_err(|e| format!("bad job id `{arg}`: {e}"))?,
+                    );
+                }
+            }
+            let job_id = job_id.ok_or("wait needs a JOB_ID")?;
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let result = client
+                .wait(job_id, print_event)
+                .map_err(|e| e.to_string())?;
+            print_result(&result, format)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "cancel" => {
+            let [job_id] = command_args else {
+                return Err("cancel needs exactly one JOB_ID".to_owned());
+            };
+            let job_id = job_id
+                .parse()
+                .map_err(|e| format!("bad job id `{job_id}`: {e}"))?;
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let cancelled = client.cancel(job_id).map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                if cancelled {
+                    "cancelled"
+                } else {
+                    "already finished"
+                }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("daemon draining");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

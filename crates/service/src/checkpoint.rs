@@ -1,0 +1,246 @@
+//! Durable job state: one JSON document per job, written atomically.
+//!
+//! The daemon persists every job to its checkpoint directory — at
+//! submit time (so queued jobs survive a restart), every time the
+//! running job crosses the configured device-write interval, and at
+//! each terminal transition. A checkpoint stores the *completed cells*
+//! of the job's matrix; because each cell is a pure function of the
+//! spec and its index (see [`crate::job::JobSpec::run_cell`]), a
+//! resumed daemon re-runs only the missing cells and the assembled
+//! result is bit-identical to an uninterrupted run.
+//!
+//! Files are written to `job-<id>.json.tmp` and renamed into place, so
+//! a crash mid-write never corrupts an existing checkpoint.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use twl_telemetry::json::{int, str, Json};
+
+use crate::job::{cells_from_json, cells_to_json, req_str, req_u64, JobSpec};
+
+/// Schema tag stamped on every checkpoint file.
+pub const CHECKPOINT_SCHEMA: &str = "twl-service/v1";
+
+/// The durable state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The daemon-assigned job id.
+    pub job_id: u64,
+    /// The full job spec — a checkpoint is self-contained.
+    pub spec: JobSpec,
+    /// Status label at save time (`queued`, `running`, `completed`,
+    /// `failed`, `cancelled`).
+    pub status: String,
+    /// Encoded reports of the cells finished so far, by cell index.
+    pub completed_cells: BTreeMap<u64, Json>,
+    /// The assembled result document, once the job completed.
+    pub result: Option<Json>,
+    /// The failure message, if the job failed.
+    pub error: Option<String>,
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", str(CHECKPOINT_SCHEMA)),
+            ("job_id", int(self.job_id)),
+            ("spec", self.spec.to_json()),
+            ("status", str(&self.status)),
+            ("completed_cells", cells_to_json(&self.completed_cells)),
+            ("result", self.result.clone().unwrap_or(Json::Null)),
+            ("error", self.error.as_deref().map_or(Json::Null, str)),
+        ])
+    }
+
+    /// Decodes a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a schema mismatch or a malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let schema = req_str(v, "schema")?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "checkpoint schema `{schema}` is not `{CHECKPOINT_SCHEMA}`"
+            ));
+        }
+        Ok(Self {
+            job_id: req_u64(v, "job_id")?,
+            spec: JobSpec::from_json(v.get("spec").ok_or("checkpoint is missing `spec`")?)?,
+            status: req_str(v, "status")?.to_owned(),
+            completed_cells: cells_from_json(
+                v.get("completed_cells")
+                    .ok_or("checkpoint is missing `completed_cells`")?,
+            )?,
+            result: match v.get("result") {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(r.clone()),
+            },
+            error: match v.get("error") {
+                None | Some(Json::Null) => None,
+                Some(e) => Some(e.as_str().ok_or("non-string `error`")?.to_owned()),
+            },
+        })
+    }
+}
+
+/// A directory of per-job checkpoint files.
+#[derive(Debug)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The file a job's checkpoint lives in.
+    #[must_use]
+    pub fn path_for(&self, job_id: u64) -> PathBuf {
+        self.dir.join(format!("job-{job_id}.json"))
+    }
+
+    /// Atomically writes `cp` (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, cp: &Checkpoint) -> io::Result<()> {
+        let path = self.path_for(cp.job_id);
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, cp.to_json().to_compact())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Loads every parseable checkpoint, sorted by job id. Unparseable
+    /// files are skipped with a warning on stderr — a half-written temp
+    /// file or a schema from the future must not brick the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn load_all(&self) -> io::Result<Vec<Checkpoint>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if !is_checkpoint_file(&path) {
+                continue;
+            }
+            match load_one(&path) {
+                Ok(cp) => out.push(cp),
+                Err(e) => eprintln!("twl-serviced: skipping checkpoint {}: {e}", path.display()),
+            }
+        }
+        out.sort_by_key(|cp| cp.job_id);
+        Ok(out)
+    }
+}
+
+fn is_checkpoint_file(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    name.starts_with("job-") && name.ends_with(".json")
+}
+
+fn load_one(path: &Path) -> Result<Checkpoint, String> {
+    let text = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Checkpoint::from_json(&Json::parse(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_attacks::AttackKind;
+    use twl_lifetime::{SchemeKind, SimLimits};
+    use twl_pcm::PcmConfig;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: crate::job::JobKind::AttackMatrix,
+            pcm: PcmConfig::scaled(128, 2_000, 8),
+            limits: SimLimits::default(),
+            schemes: vec![SchemeKind::Nowl],
+            attacks: vec![AttackKind::Repeat],
+            benchmarks: vec![],
+            fault: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("twl_service_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoints_round_trip_on_disk() {
+        let dirpath = temp_dir("roundtrip");
+        let dir = CheckpointDir::open(&dirpath).unwrap();
+        let mut completed_cells = BTreeMap::new();
+        completed_cells.insert(0u64, Json::obj([("years", twl_telemetry::json::num(4.25))]));
+        let cp = Checkpoint {
+            job_id: 7,
+            spec: spec(),
+            status: "running".to_owned(),
+            completed_cells,
+            result: None,
+            error: None,
+        };
+        dir.save(&cp).unwrap();
+        let loaded = dir.load_all().unwrap();
+        assert_eq!(loaded, vec![cp]);
+        fs::remove_dir_all(&dirpath).ok();
+    }
+
+    #[test]
+    fn unparseable_files_are_skipped() {
+        let dirpath = temp_dir("skip");
+        let dir = CheckpointDir::open(&dirpath).unwrap();
+        fs::write(dir.path_for(1), "{not json").unwrap();
+        fs::write(dirpath.join("notes.txt"), "ignore me").unwrap();
+        let cp = Checkpoint {
+            job_id: 2,
+            spec: spec(),
+            status: "queued".to_owned(),
+            completed_cells: BTreeMap::new(),
+            result: None,
+            error: None,
+        };
+        dir.save(&cp).unwrap();
+        let loaded = dir.load_all().unwrap();
+        assert_eq!(loaded, vec![cp]);
+        fs::remove_dir_all(&dirpath).ok();
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let mut v = Checkpoint {
+            job_id: 1,
+            spec: spec(),
+            status: "queued".to_owned(),
+            completed_cells: BTreeMap::new(),
+            result: None,
+            error: None,
+        }
+        .to_json();
+        if let Json::Obj(map) = &mut v {
+            map.insert("schema".to_owned(), str("twl-service/v999"));
+        }
+        assert!(Checkpoint::from_json(&v).unwrap_err().contains("schema"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The `twl-wire/v1` client used by `twl-ctl` and the integration
+//! tests.
+
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use twl_telemetry::json::Json;
+
+use crate::framing::{read_frame, write_frame, FrameError};
+use crate::job::JobSpec;
+use crate::wire::{JobEvent, JobSnapshot, Request, Response, PROTOCOL};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach or talk to the daemon.
+    Io(io::Error),
+    /// The daemon's frame could not be read.
+    Frame(FrameError),
+    /// The daemon answered with the wrong frame type.
+    Protocol(String),
+    /// The daemon reported an error.
+    Remote(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Frame(e) => write!(f, "bad frame from daemon: {e}"),
+            Self::Protocol(m) => write!(f, "unexpected response: {m}"),
+            Self::Remote(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        Self::Frame(e)
+    }
+}
+
+/// What a submit produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job was queued under this id.
+    Accepted(u64),
+    /// Backpressure: try again after the hint.
+    Rejected {
+        /// Why the job was refused.
+        reason: String,
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+}
+
+/// A connected, handshaken client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, a protocol-version mismatch, or a
+    /// non-handshake reply.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Self { stream };
+        client.send(&Request::Hello {
+            proto: PROTOCOL.to_owned(),
+        })?;
+        match client.recv()? {
+            Response::HelloOk { .. } => Ok(client),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let frame = read_frame(&mut self.stream)?;
+        Response::from_json(&frame).map_err(ClientError::Protocol)
+    }
+
+    /// Submits a job; backpressure comes back as
+    /// [`SubmitOutcome::Rejected`], not an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an invalid spec, or an unexpected
+    /// reply.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        self.send(&Request::Submit { spec: spec.clone() })?;
+        match self.recv()? {
+            Response::Submitted { job_id } => Ok(SubmitOutcome::Accepted(job_id)),
+            Response::Rejected {
+                reason,
+                retry_after_ms,
+            } => Ok(SubmitOutcome::Rejected {
+                reason,
+                retry_after_ms,
+            }),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Submits with bounded retries, honoring the daemon's
+    /// retry-after hint between attempts.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Client::submit`], or with [`ClientError::Remote`]
+    /// once `max_attempts` rejections have been absorbed.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        max_attempts: u32,
+    ) -> Result<u64, ClientError> {
+        let mut last_reason = String::new();
+        for _ in 0..max_attempts.max(1) {
+            match self.submit(spec)? {
+                SubmitOutcome::Accepted(job_id) => return Ok(job_id),
+                SubmitOutcome::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => {
+                    last_reason = reason;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+            }
+        }
+        Err(ClientError::Remote(format!(
+            "submit still rejected after {max_attempts} attempts: {last_reason}"
+        )))
+    }
+
+    /// Snapshots one job (or all jobs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected reply.
+    pub fn status(&mut self, job_id: Option<u64>) -> Result<Vec<JobSnapshot>, ClientError> {
+        self.send(&Request::Status { job_id })?;
+        match self.recv()? {
+            Response::StatusOk { jobs } => Ok(jobs),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Streams a job to completion, feeding each progress event to
+    /// `on_event`, and returns the result document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an unknown job, or with
+    /// [`ClientError::Remote`] when the job failed or was cancelled.
+    pub fn wait(
+        &mut self,
+        job_id: u64,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<Json, ClientError> {
+        self.send(&Request::Stream { job_id })?;
+        loop {
+            match self.recv()? {
+                Response::Event { event, .. } => on_event(&event),
+                Response::JobResult { result, .. } => return Ok(result),
+                Response::JobFailed { error, .. } => return Err(ClientError::Remote(error)),
+                Response::Error { message } => return Err(ClientError::Remote(message)),
+                other => return Err(ClientError::Protocol(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Asks the daemon to cancel a job; `false` means it had already
+    /// finished.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an unknown job, or an unexpected
+    /// reply.
+    pub fn cancel(&mut self, job_id: u64) -> Result<bool, ClientError> {
+        self.send(&Request::Cancel { job_id })?;
+        match self.recv()? {
+            Response::CancelOk { cancelled, .. } => Ok(cancelled),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::ShutdownOk => Ok(()),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+}

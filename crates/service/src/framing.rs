@@ -1,0 +1,202 @@
+//! Length-prefixed JSON framing for the `twl-wire` protocol.
+//!
+//! Every frame on the wire is a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 encoded compact JSON. The
+//! length prefix makes message boundaries explicit, so a reader can
+//! tell a cleanly closed connection ([`FrameError::Closed`]) from one
+//! that died mid-frame ([`FrameError::Truncated`]), and can refuse an
+//! absurd length ([`FrameError::Oversized`]) *before* allocating or
+//! reading the payload.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use twl_telemetry::json::Json;
+
+/// Hard ceiling on a single frame's payload (4 MiB). Large matrix
+/// results stay well under this; anything bigger is a protocol error.
+pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The connection ended mid-header or mid-payload.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+    },
+    /// The payload is not valid UTF-8.
+    Utf8,
+    /// The payload is not valid JSON.
+    Json(String),
+    /// An I/O error other than EOF.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed"),
+            Self::Truncated => write!(f, "connection closed mid-frame"),
+            Self::Oversized { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+                )
+            }
+            Self::Utf8 => write!(f, "frame payload is not UTF-8"),
+            Self::Json(e) => write!(f, "frame payload is not JSON: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+///
+/// # Panics
+///
+/// Panics if the encoded frame exceeds [`MAX_FRAME_BYTES`] — outgoing
+/// frames are produced by this crate, so an oversized one is a bug, not
+/// a peer behaving badly.
+pub fn write_frame(w: &mut impl Write, frame: &Json) -> io::Result<()> {
+    let payload = frame.to_compact();
+    let bytes = payload.as_bytes();
+    assert!(
+        bytes.len() <= MAX_FRAME_BYTES,
+        "outgoing frame of {} bytes exceeds MAX_FRAME_BYTES",
+        bytes.len()
+    );
+    let len = u32::try_from(bytes.len()).expect("MAX_FRAME_BYTES fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads until `buf` is full or EOF; returns the number of bytes read.
+fn fill(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Closed`] on clean EOF before any header byte,
+/// and the other variants for truncated, oversized, or malformed
+/// payloads. The oversized check happens before the payload is read, so
+/// a hostile length prefix cannot force a large allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Json, FrameError> {
+    let mut header = [0u8; 4];
+    match fill(r, &mut header) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) if n < header.len() => return Err(FrameError::Truncated),
+        Ok(_) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len];
+    match fill(r, &mut payload) {
+        Ok(n) if n < len => return Err(FrameError::Truncated),
+        Ok(_) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let text = String::from_utf8(payload).map_err(|_| FrameError::Utf8)?;
+    Json::parse(&text).map_err(FrameError::Json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_telemetry::json::{int, str};
+
+    #[test]
+    fn frames_round_trip() {
+        let frame = Json::obj([("type", str("hello")), ("n", int(7))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut { empty }),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn partial_header_is_truncated() {
+        let partial: &[u8] = &[0, 0];
+        assert!(matches!(
+            read_frame(&mut { partial }),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn partial_payload_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj([("type", str("hello"))])).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_reading() {
+        let mut buf = Vec::new();
+        let len = u32::try_from(MAX_FRAME_BYTES + 1).unwrap();
+        buf.extend_from_slice(&len.to_be_bytes());
+        // No payload follows — the length check alone must reject it.
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_and_non_json_are_distinguished() {
+        let mut bad_utf8 = Vec::new();
+        bad_utf8.extend_from_slice(&2u32.to_be_bytes());
+        bad_utf8.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            read_frame(&mut bad_utf8.as_slice()),
+            Err(FrameError::Utf8)
+        ));
+
+        let mut bad_json = Vec::new();
+        bad_json.extend_from_slice(&3u32.to_be_bytes());
+        bad_json.extend_from_slice(b"{{{");
+        assert!(matches!(
+            read_frame(&mut bad_json.as_slice()),
+            Err(FrameError::Json(_))
+        ));
+    }
+}

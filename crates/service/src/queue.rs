@@ -1,0 +1,628 @@
+//! The bounded job queue and job registry.
+//!
+//! One `Mutex<State>` guards everything; two condvars split the
+//! wake-ups: `takers` wakes workers waiting for a job, `watchers` wakes
+//! stream connections waiting for a job's next event. Backpressure is
+//! explicit — a submit against a full queue is *rejected* with a
+//! retry-after hint rather than blocking the connection, so a client
+//! always learns the queue state in bounded time.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use twl_telemetry::json::Json;
+use twl_telemetry::{counter, gauge};
+
+use crate::job::JobSpec;
+use crate::wire::{JobEvent, JobSnapshot};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is executing cells.
+    Running,
+    /// All cells finished; the result is available.
+    Completed,
+    /// A cell panicked (e.g. incompatible geometry) or execution hit an
+    /// internal error.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire/checkpoint label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Completed => "completed",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire/checkpoint label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown label.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        match label {
+            "queued" => Ok(Self::Queued),
+            "running" => Ok(Self::Running),
+            "completed" => Ok(Self::Completed),
+            "failed" => Ok(Self::Failed),
+            "cancelled" => Ok(Self::Cancelled),
+            other => Err(format!("unknown job status `{other}`")),
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Completed | Self::Failed | Self::Cancelled)
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRejection {
+    /// Human-readable reason (`queue full`, `daemon is shutting down`).
+    pub reason: String,
+    /// Suggested wait before retrying.
+    pub retry_after_ms: u64,
+}
+
+/// Everything a worker needs to execute one claimed job.
+#[derive(Debug)]
+pub struct ClaimedJob {
+    /// The job id.
+    pub job_id: u64,
+    /// The spec to run.
+    pub spec: JobSpec,
+    /// Cells already finished (non-empty when resuming from a
+    /// checkpoint).
+    pub completed_cells: BTreeMap<u64, Json>,
+    /// Set by [`JobQueue::cancel`]; the executor checks it between
+    /// cells.
+    pub cancel: Arc<AtomicBool>,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    status: JobStatus,
+    cells_total: u64,
+    completed_cells: BTreeMap<u64, Json>,
+    result: Option<Json>,
+    error: Option<String>,
+    events: Vec<JobEvent>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl JobEntry {
+    fn snapshot(&self, job_id: u64) -> JobSnapshot {
+        JobSnapshot {
+            job_id,
+            kind: self.spec.kind.label().to_owned(),
+            status: self.status.label().to_owned(),
+            cells_done: self.completed_cells.len() as u64,
+            cells_total: self.cells_total,
+            error: self.error.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    next_id: u64,
+    pending: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobEntry>,
+    shutting_down: bool,
+}
+
+/// The bounded job queue shared by connections and workers.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<State>,
+    takers: Condvar,
+    watchers: Condvar,
+    capacity: usize,
+    retry_after_ms: u64,
+}
+
+/// Terminal information handed to a stream once a job finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finished {
+    /// The terminal status.
+    pub status: JobStatus,
+    /// The result document, if the job completed.
+    pub result: Option<Json>,
+    /// The failure message, if it did not.
+    pub error: Option<String>,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    #[must_use]
+    pub fn new(capacity: usize, retry_after_ms: u64) -> Self {
+        Self {
+            state: Mutex::new(State {
+                next_id: 1,
+                pending: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                shutting_down: false,
+            }),
+            takers: Condvar::new(),
+            watchers: Condvar::new(),
+            capacity: capacity.max(1),
+            retry_after_ms,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn publish_depth(state: &State) {
+        let depth = i64::try_from(state.pending.len()).unwrap_or(i64::MAX);
+        gauge!("twl.service.queue.depth").set(depth);
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (without blocking) when the queue is full or the daemon
+    /// is draining; the rejection carries a retry-after hint.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitRejection> {
+        let mut state = self.lock();
+        if state.shutting_down {
+            counter!("twl.service.jobs.rejected").inc();
+            return Err(SubmitRejection {
+                reason: "daemon is shutting down".to_owned(),
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        if state.pending.len() >= self.capacity {
+            counter!("twl.service.jobs.rejected").inc();
+            return Err(SubmitRejection {
+                reason: format!("queue full ({} pending jobs)", state.pending.len()),
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        let job_id = state.next_id;
+        state.next_id += 1;
+        let cells_total = spec.cell_count() as u64;
+        state.jobs.insert(
+            job_id,
+            JobEntry {
+                spec,
+                status: JobStatus::Queued,
+                cells_total,
+                completed_cells: BTreeMap::new(),
+                result: None,
+                error: None,
+                events: vec![JobEvent::Queued],
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        state.pending.push_back(job_id);
+        counter!("twl.service.jobs.queued").inc();
+        Self::publish_depth(&state);
+        drop(state);
+        self.takers.notify_one();
+        self.watchers.notify_all();
+        Ok(job_id)
+    }
+
+    /// Re-registers a job from a checkpoint at daemon start. Non-terminal
+    /// jobs (queued or interrupted mid-run) are re-enqueued; terminal
+    /// ones are registered so `status`/`stream` still answer for them.
+    pub fn restore(
+        &self,
+        job_id: u64,
+        spec: JobSpec,
+        status: JobStatus,
+        completed_cells: BTreeMap<u64, Json>,
+        result: Option<Json>,
+        error: Option<String>,
+    ) {
+        let mut state = self.lock();
+        state.next_id = state.next_id.max(job_id + 1);
+        let (status, requeue) = if status.is_terminal() {
+            (status, false)
+        } else {
+            // A job that was `running` when the daemon died restarts as
+            // queued; its completed cells are kept so only missing ones
+            // re-run.
+            (JobStatus::Queued, true)
+        };
+        let cells_total = spec.cell_count() as u64;
+        let mut events = vec![JobEvent::Queued];
+        if status.is_terminal() {
+            events.push(JobEvent::Finished {
+                status: status.label().to_owned(),
+            });
+        }
+        state.jobs.insert(
+            job_id,
+            JobEntry {
+                spec,
+                status,
+                cells_total,
+                completed_cells,
+                result,
+                error,
+                events,
+                cancel: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        if requeue {
+            state.pending.push_back(job_id);
+            counter!("twl.service.jobs.queued").inc();
+        }
+        Self::publish_depth(&state);
+        drop(state);
+        self.takers.notify_one();
+    }
+
+    /// Blocks until a job is available and claims it, or returns `None`
+    /// once the daemon is shutting down (queued jobs stay persisted; a
+    /// worker never starts new work while draining).
+    pub fn claim(&self) -> Option<ClaimedJob> {
+        let mut state = self.lock();
+        loop {
+            if state.shutting_down {
+                return None;
+            }
+            if let Some(job_id) = state.pending.pop_front() {
+                Self::publish_depth(&state);
+                let entry = state.jobs.get_mut(&job_id).expect("pending job exists");
+                return Some(ClaimedJob {
+                    job_id,
+                    spec: entry.spec.clone(),
+                    completed_cells: entry.completed_cells.clone(),
+                    cancel: Arc::clone(&entry.cancel),
+                });
+            }
+            state = self
+                .takers
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks a claimed job running and publishes the `Started` event.
+    pub fn mark_running(&self, job_id: u64) {
+        let mut state = self.lock();
+        if let Some(entry) = state.jobs.get_mut(&job_id) {
+            entry.status = JobStatus::Running;
+            entry.events.push(JobEvent::Started);
+        }
+        drop(state);
+        self.watchers.notify_all();
+    }
+
+    /// Records one finished cell and publishes its event.
+    pub fn record_cell(
+        &self,
+        job_id: u64,
+        cell: u64,
+        report: Json,
+        scheme: String,
+        workload: String,
+    ) {
+        let mut state = self.lock();
+        if let Some(entry) = state.jobs.get_mut(&job_id) {
+            entry.completed_cells.insert(cell, report);
+            let total = entry.cells_total;
+            entry.events.push(JobEvent::CellDone {
+                cell,
+                total,
+                scheme,
+                workload,
+            });
+        }
+        drop(state);
+        self.watchers.notify_all();
+    }
+
+    /// Publishes a `Checkpointed` event after the executor persisted
+    /// progress.
+    pub fn record_checkpoint(&self, job_id: u64, cells_done: u64) {
+        let mut state = self.lock();
+        if let Some(entry) = state.jobs.get_mut(&job_id) {
+            entry.events.push(JobEvent::Checkpointed { cells_done });
+        }
+        drop(state);
+        self.watchers.notify_all();
+    }
+
+    /// Moves a job to a terminal state and publishes `Finished`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `status` is not terminal.
+    pub fn finish(
+        &self,
+        job_id: u64,
+        status: JobStatus,
+        result: Option<Json>,
+        error: Option<String>,
+    ) {
+        assert!(status.is_terminal(), "finish needs a terminal status");
+        let mut state = self.lock();
+        if let Some(entry) = state.jobs.get_mut(&job_id) {
+            entry.status = status;
+            entry.result = result;
+            entry.error = error;
+            entry.events.push(JobEvent::Finished {
+                status: status.label().to_owned(),
+            });
+        }
+        drop(state);
+        match status {
+            JobStatus::Completed => counter!("twl.service.jobs.completed").inc(),
+            JobStatus::Failed => counter!("twl.service.jobs.failed").inc(),
+            JobStatus::Cancelled => counter!("twl.service.jobs.cancelled").inc(),
+            JobStatus::Queued | JobStatus::Running => unreachable!("terminal asserted above"),
+        }
+        self.watchers.notify_all();
+    }
+
+    /// Requests cancellation. Queued jobs are finished as cancelled on
+    /// the spot; running jobs get their flag set and stop at the next
+    /// cell boundary. Returns `None` for an unknown job and
+    /// `Some(false)` for one already terminal.
+    pub fn cancel(&self, job_id: u64) -> Option<bool> {
+        let mut state = self.lock();
+        let entry = state.jobs.get_mut(&job_id)?;
+        match entry.status {
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Cancelled => Some(false),
+            JobStatus::Running => {
+                entry.cancel.store(true, Ordering::Relaxed);
+                Some(true)
+            }
+            JobStatus::Queued => {
+                entry.cancel.store(true, Ordering::Relaxed);
+                entry.status = JobStatus::Cancelled;
+                entry.error = Some("job cancelled".to_owned());
+                entry.events.push(JobEvent::Finished {
+                    status: JobStatus::Cancelled.label().to_owned(),
+                });
+                state.pending.retain(|&id| id != job_id);
+                counter!("twl.service.jobs.cancelled").inc();
+                Self::publish_depth(&state);
+                drop(state);
+                self.watchers.notify_all();
+                Some(true)
+            }
+        }
+    }
+
+    /// Snapshots one job (or all jobs, oldest first).
+    #[must_use]
+    pub fn snapshot(&self, job_id: Option<u64>) -> Vec<JobSnapshot> {
+        let state = self.lock();
+        match job_id {
+            Some(id) => state
+                .jobs
+                .get(&id)
+                .map(|e| vec![e.snapshot(id)])
+                .unwrap_or_default(),
+            None => state.jobs.iter().map(|(id, e)| e.snapshot(*id)).collect(),
+        }
+    }
+
+    /// The job's spec and completed cells, for checkpointing a terminal
+    /// transition the executor did not drive (queued-job cancellation).
+    #[must_use]
+    pub fn job_state(
+        &self,
+        job_id: u64,
+    ) -> Option<(JobSpec, JobStatus, Option<Json>, Option<String>)> {
+        let state = self.lock();
+        state
+            .jobs
+            .get(&job_id)
+            .map(|e| (e.spec.clone(), e.status, e.result.clone(), e.error.clone()))
+    }
+
+    /// Blocks until job `job_id` has events past `cursor` or reaches a
+    /// terminal state, then returns the new events, the advanced
+    /// cursor, and — once the cursor has drained all events of a
+    /// terminal job — the terminal information. Returns `None` for an
+    /// unknown job.
+    #[must_use]
+    pub fn next_events(
+        &self,
+        job_id: u64,
+        cursor: usize,
+    ) -> Option<(Vec<JobEvent>, usize, Option<Finished>)> {
+        let mut state = self.lock();
+        loop {
+            let entry = state.jobs.get(&job_id)?;
+            if entry.events.len() > cursor {
+                let events: Vec<JobEvent> = entry.events[cursor..].to_vec();
+                let new_cursor = entry.events.len();
+                let done = entry.status.is_terminal().then(|| Finished {
+                    status: entry.status,
+                    result: entry.result.clone(),
+                    error: entry.error.clone(),
+                });
+                return Some((events, new_cursor, done));
+            }
+            if entry.status.is_terminal() {
+                return Some((
+                    Vec::new(),
+                    cursor,
+                    Some(Finished {
+                        status: entry.status,
+                        result: entry.result.clone(),
+                        error: entry.error.clone(),
+                    }),
+                ));
+            }
+            state = self
+                .watchers
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Pending (not yet claimed) jobs.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.lock().pending.len()
+    }
+
+    /// Starts the drain: submits are rejected from now on and workers
+    /// stop claiming; jobs already running finish normally.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.lock();
+        state.shutting_down = true;
+        drop(state);
+        self.takers.notify_all();
+        self.watchers.notify_all();
+    }
+
+    /// Whether the drain has started.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.lock().shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_attacks::AttackKind;
+    use twl_lifetime::{SchemeKind, SimLimits};
+    use twl_pcm::PcmConfig;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: crate::job::JobKind::AttackMatrix,
+            pcm: PcmConfig::scaled(64, 500, 3),
+            limits: SimLimits::default(),
+            schemes: vec![SchemeKind::Nowl],
+            attacks: vec![AttackKind::Repeat],
+            benchmarks: vec![],
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let queue = JobQueue::new(2, 250);
+        assert!(queue.submit(spec()).is_ok());
+        assert!(queue.submit(spec()).is_ok());
+        let rejection = queue.submit(spec()).unwrap_err();
+        assert!(rejection.reason.contains("queue full"));
+        assert_eq!(rejection.retry_after_ms, 250);
+        assert_eq!(queue.depth(), 2);
+    }
+
+    #[test]
+    fn claim_drains_fifo_and_finish_publishes_result() {
+        let queue = JobQueue::new(8, 100);
+        let first = queue.submit(spec()).unwrap();
+        let second = queue.submit(spec()).unwrap();
+        let claimed = queue.claim().unwrap();
+        assert_eq!(claimed.job_id, first);
+        queue.mark_running(first);
+        queue.finish(first, JobStatus::Completed, Some(Json::Null), None);
+        let (_, _, done) = queue.next_events(first, 0).unwrap();
+        assert_eq!(done.unwrap().status, JobStatus::Completed);
+        assert_eq!(queue.claim().unwrap().job_id, second);
+    }
+
+    #[test]
+    fn shutdown_rejects_submits_and_stops_claims() {
+        let queue = JobQueue::new(8, 100);
+        queue.submit(spec()).unwrap();
+        queue.begin_shutdown();
+        assert!(queue
+            .submit(spec())
+            .unwrap_err()
+            .reason
+            .contains("shutting down"));
+        // Even with a pending job, claims stop: queued work is persisted,
+        // not started, during a drain.
+        assert!(queue.claim().is_none());
+    }
+
+    #[test]
+    fn cancel_dequeues_queued_jobs() {
+        let queue = JobQueue::new(8, 100);
+        let id = queue.submit(spec()).unwrap();
+        assert_eq!(queue.cancel(id), Some(true));
+        assert_eq!(queue.depth(), 0);
+        assert_eq!(queue.cancel(id), Some(false));
+        assert_eq!(queue.cancel(999), None);
+        let snap = queue.snapshot(Some(id));
+        assert_eq!(snap[0].status, "cancelled");
+    }
+
+    #[test]
+    fn restore_requeues_interrupted_jobs_and_keeps_terminal_ones() {
+        let queue = JobQueue::new(8, 100);
+        let mut cells = BTreeMap::new();
+        cells.insert(0u64, Json::Null);
+        queue.restore(5, spec(), JobStatus::Running, cells.clone(), None, None);
+        queue.restore(
+            6,
+            spec(),
+            JobStatus::Completed,
+            cells,
+            Some(Json::Null),
+            None,
+        );
+        // Interrupted job 5 is queued again with its progress intact.
+        let claimed = queue.claim().unwrap();
+        assert_eq!(claimed.job_id, 5);
+        assert_eq!(claimed.completed_cells.len(), 1);
+        // Terminal job 6 is queryable but not runnable.
+        assert_eq!(queue.snapshot(Some(6))[0].status, "completed");
+        assert_eq!(queue.depth(), 0);
+        // New ids keep counting past the restored ones.
+        assert_eq!(queue.submit(spec()).unwrap(), 7);
+    }
+
+    #[test]
+    fn streams_see_events_in_order_across_threads() {
+        let queue = Arc::new(JobQueue::new(8, 100));
+        let id = queue.submit(spec()).unwrap();
+        let watcher = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut cursor = 0;
+                let mut seen = Vec::new();
+                loop {
+                    let (events, next, done) = queue.next_events(id, cursor).unwrap();
+                    seen.extend(events);
+                    cursor = next;
+                    if done.is_some() {
+                        return seen;
+                    }
+                }
+            })
+        };
+        queue.mark_running(id);
+        queue.record_cell(id, 0, Json::Null, "NOWL".into(), "repeat".into());
+        queue.finish(id, JobStatus::Completed, Some(Json::Null), None);
+        let seen = watcher.join().unwrap();
+        assert_eq!(seen[0], JobEvent::Queued);
+        assert_eq!(seen[1], JobEvent::Started);
+        assert!(matches!(seen[2], JobEvent::CellDone { cell: 0, .. }));
+        assert!(matches!(seen.last(), Some(JobEvent::Finished { .. })));
+    }
+}

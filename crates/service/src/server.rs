@@ -1,0 +1,515 @@
+//! The `twl-serviced` daemon: accept loop, connection handlers, and
+//! the worker pool that executes jobs.
+//!
+//! Concurrency model: within a job, cells run sequentially (that is
+//! the checkpointable unit); parallelism comes from the worker pool
+//! running different jobs on different threads, sized exactly like the
+//! in-process matrix helpers via
+//! [`twl_lifetime::pool::configured_parallelism`] (so `TWL_THREADS`
+//! is honored in one place for the whole workspace).
+//!
+//! Robustness contract: a malformed, truncated, or oversized frame
+//! earns a best-effort `error` response and closes *that connection
+//! only* — the accept loop and every other connection keep serving.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use twl_lifetime::pool;
+use twl_telemetry::{counter, histogram, ScopeGuard};
+
+use crate::checkpoint::{Checkpoint, CheckpointDir};
+use crate::framing::{read_frame, write_frame, FrameError};
+use crate::job::encode_result;
+use crate::queue::{ClaimedJob, JobQueue, JobStatus};
+use crate::wire::{Request, Response, PROTOCOL};
+
+/// Test hook: when this environment variable holds `N`, the daemon
+/// calls `process::exit` right after writing its `N`-th mid-run
+/// checkpoint — a deterministic stand-in for `kill -9` that the
+/// kill-and-resume integration test uses.
+pub const EXIT_AFTER_CHECKPOINTS_ENV: &str = "TWL_SERVICED_EXIT_AFTER_CHECKPOINTS";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address; port 0 picks a free port.
+    pub addr: String,
+    /// Maximum queued (not yet running) jobs before submits are
+    /// rejected.
+    pub queue_capacity: usize,
+    /// Worker threads; 0 means [`pool::configured_parallelism`].
+    pub workers: usize,
+    /// Where to persist job checkpoints; `None` disables durability.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Device writes a running job accumulates between checkpoints.
+    pub checkpoint_interval_writes: u64,
+    /// Retry hint handed to rejected submitters.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7781".to_owned(),
+            queue_capacity: 32,
+            workers: 0,
+            checkpoint_dir: None,
+            checkpoint_interval_writes: 50_000_000,
+            retry_after_ms: 500,
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    checkpoints: Option<Arc<CheckpointDir>>,
+    workers: usize,
+    checkpoint_interval_writes: u64,
+}
+
+impl Server {
+    /// Binds the listener, opens the checkpoint directory, and restores
+    /// any persisted jobs (interrupted ones re-enter the queue).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and checkpoint-directory failures.
+    pub fn bind(config: &ServiceConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let queue = Arc::new(JobQueue::new(config.queue_capacity, config.retry_after_ms));
+        let checkpoints = match &config.checkpoint_dir {
+            Some(dir) => {
+                let dir = CheckpointDir::open(dir)?;
+                for cp in dir.load_all()? {
+                    let status = JobStatus::parse(&cp.status).unwrap_or(JobStatus::Queued);
+                    queue.restore(
+                        cp.job_id,
+                        cp.spec,
+                        status,
+                        cp.completed_cells,
+                        cp.result,
+                        cp.error,
+                    );
+                }
+                Some(Arc::new(dir))
+            }
+            None => None,
+        };
+        let workers = if config.workers == 0 {
+            pool::configured_parallelism()
+        } else {
+            config.workers
+        };
+        Ok(Self {
+            listener,
+            queue,
+            checkpoints,
+            workers,
+            checkpoint_interval_writes: config.checkpoint_interval_writes.max(1),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a `shutdown` request completes its drain:
+    /// in-flight jobs finish, queued jobs stay persisted, sinks flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures.
+    pub fn run(self) -> io::Result<()> {
+        let local_addr = self.local_addr()?;
+        let worker_handles: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let queue = Arc::clone(&self.queue);
+                let checkpoints = self.checkpoints.clone();
+                let interval = self.checkpoint_interval_writes;
+                thread::spawn(move || {
+                    while let Some(job) = queue.claim() {
+                        execute_job(&queue, checkpoints.as_deref(), interval, job);
+                    }
+                })
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.queue.is_shutting_down() {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            counter!("twl.service.connections").inc();
+            let queue = Arc::clone(&self.queue);
+            let checkpoints = self.checkpoints.clone();
+            thread::spawn(move || {
+                handle_connection(&stream, &queue, checkpoints.as_deref(), local_addr)
+            });
+        }
+
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        twl_telemetry::flush_sinks();
+        Ok(())
+    }
+}
+
+/// Persists a job's current state, best-effort (an unwritable disk
+/// degrades durability, not availability).
+fn save_checkpoint(
+    dir: &CheckpointDir,
+    job_id: u64,
+    spec: &crate::job::JobSpec,
+    status: JobStatus,
+    completed_cells: &BTreeMap<u64, twl_telemetry::json::Json>,
+    result: Option<twl_telemetry::json::Json>,
+    error: Option<String>,
+) {
+    let cp = Checkpoint {
+        job_id,
+        spec: spec.clone(),
+        status: status.label().to_owned(),
+        completed_cells: completed_cells.clone(),
+        result,
+        error,
+    };
+    if let Err(e) = dir.save(&cp) {
+        eprintln!("twl-serviced: cannot checkpoint job {job_id}: {e}");
+    }
+}
+
+/// Simulated-crash test hook (see [`EXIT_AFTER_CHECKPOINTS_ENV`]).
+fn maybe_exit_after_checkpoint() {
+    static WRITTEN: AtomicU64 = AtomicU64::new(0);
+    let Some(limit) = std::env::var(EXIT_AFTER_CHECKPOINTS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    else {
+        return;
+    };
+    let written = WRITTEN.fetch_add(1, Ordering::SeqCst) + 1;
+    if written >= limit {
+        // Die abruptly, like a kill: no drain, no flush.
+        std::process::exit(83);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked".to_owned()
+    }
+}
+
+/// Runs one claimed job to a terminal state, checkpointing along the
+/// way. Cells already present in `job.completed_cells` (a resumed
+/// checkpoint) are skipped; everything else re-runs, so the assembled
+/// result is bit-identical to an uninterrupted run.
+fn execute_job(queue: &JobQueue, dir: Option<&CheckpointDir>, interval: u64, job: ClaimedJob) {
+    let _scope = ScopeGuard::new(format!("job-{}", job.job_id));
+    let started = Instant::now();
+    queue.mark_running(job.job_id);
+    if let Some(dir) = dir {
+        save_checkpoint(
+            dir,
+            job.job_id,
+            &job.spec,
+            JobStatus::Running,
+            &job.completed_cells,
+            None,
+            None,
+        );
+    }
+
+    let total = job.spec.cell_count();
+    let mut completed = job.completed_cells;
+    let mut writes_since_checkpoint = 0u64;
+    let mut failure: Option<String> = None;
+    let mut cancelled = false;
+
+    for index in 0..total {
+        if job.cancel.load(Ordering::Relaxed) {
+            cancelled = true;
+            break;
+        }
+        let cell = index as u64;
+        if completed.contains_key(&cell) {
+            continue;
+        }
+        match panic::catch_unwind(AssertUnwindSafe(|| job.spec.run_cell(index))) {
+            Ok((report, device_writes)) => {
+                let (scheme, workload) = job.spec.describe_cell(index);
+                completed.insert(cell, report.clone());
+                queue.record_cell(job.job_id, cell, report, scheme, workload);
+                writes_since_checkpoint += device_writes;
+                if let Some(dir) = dir {
+                    if writes_since_checkpoint >= interval {
+                        save_checkpoint(
+                            dir,
+                            job.job_id,
+                            &job.spec,
+                            JobStatus::Running,
+                            &completed,
+                            None,
+                            None,
+                        );
+                        writes_since_checkpoint = 0;
+                        queue.record_checkpoint(job.job_id, completed.len() as u64);
+                        maybe_exit_after_checkpoint();
+                    }
+                }
+            }
+            Err(payload) => {
+                failure = Some(panic_message(payload.as_ref()));
+                break;
+            }
+        }
+    }
+
+    let (status, result, error) = if cancelled {
+        (JobStatus::Cancelled, None, Some("job cancelled".to_owned()))
+    } else if let Some(message) = failure {
+        (JobStatus::Failed, None, Some(message))
+    } else {
+        let reports = (0..total)
+            .map(|i| completed.get(&(i as u64)).expect("all cells ran").clone())
+            .collect();
+        (
+            JobStatus::Completed,
+            Some(encode_result(job.spec.kind, reports)),
+            None,
+        )
+    };
+    queue.finish(job.job_id, status, result.clone(), error.clone());
+    if let Some(dir) = dir {
+        save_checkpoint(
+            dir, job.job_id, &job.spec, status, &completed, result, error,
+        );
+    }
+    let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    histogram!("twl.service.job.wall_ms").record(wall_ms);
+}
+
+fn send(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
+    write_frame(&mut stream, &response.to_json())
+}
+
+/// Serves one connection until it closes or violates the protocol.
+fn handle_connection(
+    stream: &TcpStream,
+    queue: &JobQueue,
+    checkpoints: Option<&CheckpointDir>,
+    local_addr: SocketAddr,
+) {
+    let mut reader = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return,
+            Err(
+                e @ (FrameError::Truncated
+                | FrameError::Oversized { .. }
+                | FrameError::Utf8
+                | FrameError::Json(_)),
+            ) => {
+                counter!("twl.service.protocol_errors").inc();
+                let _ = send(
+                    stream,
+                    &Response::Error {
+                        message: format!("protocol error: {e}"),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let request = match Request::from_json(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                counter!("twl.service.protocol_errors").inc();
+                let _ = send(
+                    stream,
+                    &Response::Error {
+                        message: format!("bad request: {message}"),
+                    },
+                );
+                return;
+            }
+        };
+        match request {
+            Request::Hello { proto } => {
+                if proto == PROTOCOL {
+                    if send(
+                        stream,
+                        &Response::HelloOk {
+                            proto: PROTOCOL.to_owned(),
+                        },
+                    )
+                    .is_err()
+                    {
+                        return;
+                    }
+                } else {
+                    counter!("twl.service.protocol_errors").inc();
+                    let _ = send(
+                        stream,
+                        &Response::Error {
+                            message: format!(
+                                "protocol version mismatch: daemon speaks {PROTOCOL}, client spoke {proto}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+            }
+            Request::Submit { spec } => {
+                let response = match spec.validate() {
+                    Err(message) => Response::Error {
+                        message: format!("invalid spec: {message}"),
+                    },
+                    Ok(()) => match queue.submit(spec) {
+                        Ok(job_id) => {
+                            // Persist at submit time so queued jobs
+                            // survive a restart or a graceful drain.
+                            if let Some(dir) = checkpoints {
+                                if let Some((spec, status, result, error)) = queue.job_state(job_id)
+                                {
+                                    save_checkpoint(
+                                        dir,
+                                        job_id,
+                                        &spec,
+                                        status,
+                                        &BTreeMap::new(),
+                                        result,
+                                        error,
+                                    );
+                                }
+                            }
+                            Response::Submitted { job_id }
+                        }
+                        Err(rejection) => Response::Rejected {
+                            reason: rejection.reason,
+                            retry_after_ms: rejection.retry_after_ms,
+                        },
+                    },
+                };
+                if send(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::Status { job_id } => {
+                let jobs = queue.snapshot(job_id);
+                if send(stream, &Response::StatusOk { jobs }).is_err() {
+                    return;
+                }
+            }
+            Request::Stream { job_id } => {
+                if !stream_job(stream, queue, job_id) {
+                    return;
+                }
+            }
+            Request::Cancel { job_id } => {
+                let response = match queue.cancel(job_id) {
+                    None => Response::Error {
+                        message: format!("unknown job {job_id}"),
+                    },
+                    Some(cancelled) => {
+                        // A queued job cancelled here never reaches the
+                        // executor, so persist its terminal state now.
+                        if let (Some(dir), Some((spec, status, result, error))) =
+                            (checkpoints, queue.job_state(job_id))
+                        {
+                            if status.is_terminal() {
+                                save_checkpoint(
+                                    dir,
+                                    job_id,
+                                    &spec,
+                                    status,
+                                    &BTreeMap::new(),
+                                    result,
+                                    error,
+                                );
+                            }
+                        }
+                        Response::CancelOk { job_id, cancelled }
+                    }
+                };
+                if send(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                queue.begin_shutdown();
+                let _ = send(stream, &Response::ShutdownOk);
+                // Wake the accept loop so it observes the drain flag.
+                let _ = TcpStream::connect(local_addr);
+                return;
+            }
+        }
+    }
+}
+
+/// Streams one job's events and final frame. Returns `false` when the
+/// connection died mid-stream.
+fn stream_job(stream: &TcpStream, queue: &JobQueue, job_id: u64) -> bool {
+    let mut cursor = 0;
+    loop {
+        let Some((events, next_cursor, done)) = queue.next_events(job_id, cursor) else {
+            return send(
+                stream,
+                &Response::Error {
+                    message: format!("unknown job {job_id}"),
+                },
+            )
+            .is_ok();
+        };
+        cursor = next_cursor;
+        for event in events {
+            if send(stream, &Response::Event { job_id, event }).is_err() {
+                return false;
+            }
+        }
+        if let Some(finished) = done {
+            let final_frame = match finished.result {
+                Some(result) => Response::JobResult { job_id, result },
+                None => Response::JobFailed {
+                    job_id,
+                    error: finished
+                        .error
+                        .unwrap_or_else(|| finished.status.label().to_owned()),
+                },
+            };
+            return send(stream, &final_frame).is_ok();
+        }
+    }
+}
+
+/// Prints the canonical "listening" line (parsed by tests and scripts
+/// to discover a port-0 bind) and flushes stdout.
+pub fn announce(addr: SocketAddr) {
+    println!("twl-serviced listening on {addr}");
+    let _ = io::stdout().flush();
+}

@@ -1,0 +1,501 @@
+//! The `twl-wire/v1` request/response schema.
+//!
+//! Frames are the length-prefixed JSON documents of [`crate::framing`];
+//! this module gives them types. Every frame is an object with a
+//! `"type"` discriminant. The protocol is versioned through the
+//! `hello` handshake: a client opens with
+//! `{"type":"hello","proto":"twl-wire/v1"}` and the daemon refuses
+//! mismatched versions before any other traffic.
+
+use twl_telemetry::json::{int, str, Json};
+
+use crate::job::{req_str, req_u64, JobSpec};
+
+/// The protocol version this crate speaks.
+pub const PROTOCOL: &str = "twl-wire/v1";
+
+/// A client-to-daemon frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake; must be the first frame on a connection.
+    Hello {
+        /// The protocol version the client speaks.
+        proto: String,
+    },
+    /// Enqueue a job.
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Snapshot one job (or all jobs) without blocking.
+    Status {
+        /// Restrict to one job; `None` lists everything.
+        job_id: Option<u64>,
+    },
+    /// Follow one job's progress events until it finishes.
+    Stream {
+        /// The job to follow.
+        job_id: u64,
+    },
+    /// Ask a queued or running job to stop.
+    Cancel {
+        /// The job to cancel.
+        job_id: u64,
+    },
+    /// Drain in-flight jobs, persist queued ones, and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as a frame body.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::Hello { proto } => Json::obj([("type", str("hello")), ("proto", str(proto))]),
+            Self::Submit { spec } => Json::obj([("type", str("submit")), ("spec", spec.to_json())]),
+            Self::Status { job_id } => match job_id {
+                Some(id) => Json::obj([("type", str("status")), ("job_id", int(*id))]),
+                None => Json::obj([("type", str("status"))]),
+            },
+            Self::Stream { job_id } => {
+                Json::obj([("type", str("stream")), ("job_id", int(*job_id))])
+            }
+            Self::Cancel { job_id } => {
+                Json::obj([("type", str("cancel")), ("job_id", int(*job_id))])
+            }
+            Self::Shutdown => Json::obj([("type", str("shutdown"))]),
+        }
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the problem (unknown type, missing
+    /// field, malformed spec).
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match req_str(v, "type")? {
+            "hello" => Ok(Self::Hello {
+                proto: req_str(v, "proto")?.to_owned(),
+            }),
+            "submit" => Ok(Self::Submit {
+                spec: JobSpec::from_json(v.get("spec").ok_or("submit is missing `spec`")?)?,
+            }),
+            "status" => Ok(Self::Status {
+                job_id: match v.get("job_id") {
+                    None | Some(Json::Null) => None,
+                    Some(id) => Some(id.as_u64().ok_or("non-integer `job_id`")?),
+                },
+            }),
+            "stream" => Ok(Self::Stream {
+                job_id: req_u64(v, "job_id")?,
+            }),
+            "cancel" => Ok(Self::Cancel {
+                job_id: req_u64(v, "job_id")?,
+            }),
+            "shutdown" => Ok(Self::Shutdown),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+}
+
+/// A point-in-time view of one job, as reported by `status`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// The job's daemon-assigned id.
+    pub job_id: u64,
+    /// The job kind label.
+    pub kind: String,
+    /// `queued`, `running`, `completed`, `failed`, or `cancelled`.
+    pub status: String,
+    /// Matrix cells finished so far.
+    pub cells_done: u64,
+    /// Total matrix cells.
+    pub cells_total: u64,
+    /// The failure message, if the job failed.
+    pub error: Option<String>,
+}
+
+impl JobSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("job_id", int(self.job_id)),
+            ("kind", str(&self.kind)),
+            ("status", str(&self.status)),
+            ("cells_done", int(self.cells_done)),
+            ("cells_total", int(self.cells_total)),
+            ("error", self.error.as_deref().map_or(Json::Null, str)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            job_id: req_u64(v, "job_id")?,
+            kind: req_str(v, "kind")?.to_owned(),
+            status: req_str(v, "status")?.to_owned(),
+            cells_done: req_u64(v, "cells_done")?,
+            cells_total: req_u64(v, "cells_total")?,
+            error: match v.get("error") {
+                None | Some(Json::Null) => None,
+                Some(e) => Some(e.as_str().ok_or("non-string `error`")?.to_owned()),
+            },
+        })
+    }
+}
+
+/// One progress event on a streamed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job entered the queue.
+    Queued,
+    /// A worker picked the job up.
+    Started,
+    /// One matrix cell finished.
+    CellDone {
+        /// Cell index in matrix order.
+        cell: u64,
+        /// Total cells in the matrix.
+        total: u64,
+        /// The cell's scheme label.
+        scheme: String,
+        /// The cell's workload name.
+        workload: String,
+    },
+    /// Progress was persisted to the checkpoint directory.
+    Checkpointed {
+        /// Cells covered by the checkpoint.
+        cells_done: u64,
+    },
+    /// The job reached a terminal state.
+    Finished {
+        /// The terminal status label.
+        status: String,
+    },
+}
+
+impl JobEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Queued => Json::obj([("what", str("queued"))]),
+            Self::Started => Json::obj([("what", str("started"))]),
+            Self::CellDone {
+                cell,
+                total,
+                scheme,
+                workload,
+            } => Json::obj([
+                ("what", str("cell_done")),
+                ("cell", int(*cell)),
+                ("total", int(*total)),
+                ("scheme", str(scheme)),
+                ("workload", str(workload)),
+            ]),
+            Self::Checkpointed { cells_done } => Json::obj([
+                ("what", str("checkpointed")),
+                ("cells_done", int(*cells_done)),
+            ]),
+            Self::Finished { status } => {
+                Json::obj([("what", str("finished")), ("status", str(status))])
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match req_str(v, "what")? {
+            "queued" => Ok(Self::Queued),
+            "started" => Ok(Self::Started),
+            "cell_done" => Ok(Self::CellDone {
+                cell: req_u64(v, "cell")?,
+                total: req_u64(v, "total")?,
+                scheme: req_str(v, "scheme")?.to_owned(),
+                workload: req_str(v, "workload")?.to_owned(),
+            }),
+            "checkpointed" => Ok(Self::Checkpointed {
+                cells_done: req_u64(v, "cells_done")?,
+            }),
+            "finished" => Ok(Self::Finished {
+                status: req_str(v, "status")?.to_owned(),
+            }),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+/// A daemon-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The handshake succeeded.
+    HelloOk {
+        /// The protocol version the daemon speaks.
+        proto: String,
+    },
+    /// The job was queued.
+    Submitted {
+        /// The assigned job id.
+        job_id: u64,
+    },
+    /// The queue is full (or draining); try again later.
+    Rejected {
+        /// Why the job was not queued.
+        reason: String,
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// Status snapshots.
+    StatusOk {
+        /// One entry per known job, oldest first.
+        jobs: Vec<JobSnapshot>,
+    },
+    /// One progress event on a streamed job.
+    Event {
+        /// The job the event belongs to.
+        job_id: u64,
+        /// The event.
+        event: JobEvent,
+    },
+    /// A streamed job completed; this is the final frame.
+    JobResult {
+        /// The finished job.
+        job_id: u64,
+        /// The result document (`{"kind":...,"reports":[...]}`).
+        result: Json,
+    },
+    /// A streamed job failed or was cancelled; this is the final frame.
+    JobFailed {
+        /// The failed job.
+        job_id: u64,
+        /// What went wrong.
+        error: String,
+    },
+    /// Outcome of a cancel request.
+    CancelOk {
+        /// The targeted job.
+        job_id: u64,
+        /// `false` if the job had already reached a terminal state.
+        cancelled: bool,
+    },
+    /// The daemon is draining and will exit.
+    ShutdownOk,
+    /// The request could not be served; the connection stays usable
+    /// unless the error was a protocol violation.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as a frame body.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::HelloOk { proto } => {
+                Json::obj([("type", str("hello_ok")), ("proto", str(proto))])
+            }
+            Self::Submitted { job_id } => {
+                Json::obj([("type", str("submitted")), ("job_id", int(*job_id))])
+            }
+            Self::Rejected {
+                reason,
+                retry_after_ms,
+            } => Json::obj([
+                ("type", str("rejected")),
+                ("reason", str(reason)),
+                ("retry_after_ms", int(*retry_after_ms)),
+            ]),
+            Self::StatusOk { jobs } => Json::obj([
+                ("type", str("status_ok")),
+                (
+                    "jobs",
+                    Json::Arr(jobs.iter().map(JobSnapshot::to_json).collect()),
+                ),
+            ]),
+            Self::Event { job_id, event } => Json::obj([
+                ("type", str("event")),
+                ("job_id", int(*job_id)),
+                ("event", event.to_json()),
+            ]),
+            Self::JobResult { job_id, result } => Json::obj([
+                ("type", str("result")),
+                ("job_id", int(*job_id)),
+                ("result", result.clone()),
+            ]),
+            Self::JobFailed { job_id, error } => Json::obj([
+                ("type", str("job_failed")),
+                ("job_id", int(*job_id)),
+                ("error", str(error)),
+            ]),
+            Self::CancelOk { job_id, cancelled } => Json::obj([
+                ("type", str("cancel_ok")),
+                ("job_id", int(*job_id)),
+                ("cancelled", Json::Bool(*cancelled)),
+            ]),
+            Self::ShutdownOk => Json::obj([("type", str("shutdown_ok"))]),
+            Self::Error { message } => {
+                Json::obj([("type", str("error")), ("message", str(message))])
+            }
+        }
+    }
+
+    /// Decodes a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the problem.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match req_str(v, "type")? {
+            "hello_ok" => Ok(Self::HelloOk {
+                proto: req_str(v, "proto")?.to_owned(),
+            }),
+            "submitted" => Ok(Self::Submitted {
+                job_id: req_u64(v, "job_id")?,
+            }),
+            "rejected" => Ok(Self::Rejected {
+                reason: req_str(v, "reason")?.to_owned(),
+                retry_after_ms: req_u64(v, "retry_after_ms")?,
+            }),
+            "status_ok" => Ok(Self::StatusOk {
+                jobs: v
+                    .get("jobs")
+                    .and_then(Json::as_arr)
+                    .ok_or("status_ok is missing `jobs`")?
+                    .iter()
+                    .map(JobSnapshot::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "event" => Ok(Self::Event {
+                job_id: req_u64(v, "job_id")?,
+                event: JobEvent::from_json(v.get("event").ok_or("event frame missing `event`")?)?,
+            }),
+            "result" => Ok(Self::JobResult {
+                job_id: req_u64(v, "job_id")?,
+                result: v
+                    .get("result")
+                    .ok_or("result frame missing `result`")?
+                    .clone(),
+            }),
+            "job_failed" => Ok(Self::JobFailed {
+                job_id: req_u64(v, "job_id")?,
+                error: req_str(v, "error")?.to_owned(),
+            }),
+            "cancel_ok" => Ok(Self::CancelOk {
+                job_id: req_u64(v, "job_id")?,
+                cancelled: match v.get("cancelled") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err("missing or non-boolean `cancelled`".into()),
+                },
+            }),
+            "shutdown_ok" => Ok(Self::ShutdownOk),
+            "error" => Ok(Self::Error {
+                message: req_str(v, "message")?.to_owned(),
+            }),
+            other => Err(format!("unknown response type `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twl_attacks::AttackKind;
+    use twl_lifetime::{SchemeKind, SimLimits};
+    use twl_pcm::PcmConfig;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: crate::job::JobKind::AttackMatrix,
+            pcm: PcmConfig::scaled(128, 2_000, 8),
+            limits: SimLimits::default(),
+            schemes: vec![SchemeKind::TwlSwp],
+            attacks: vec![AttackKind::Repeat],
+            benchmarks: vec![],
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Hello {
+                proto: PROTOCOL.to_owned(),
+            },
+            Request::Submit { spec: spec() },
+            Request::Status { job_id: None },
+            Request::Status { job_id: Some(3) },
+            Request::Stream { job_id: 5 },
+            Request::Cancel { job_id: 5 },
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let text = req.to_json().to_compact();
+            let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::HelloOk {
+                proto: PROTOCOL.to_owned(),
+            },
+            Response::Submitted { job_id: 1 },
+            Response::Rejected {
+                reason: "queue full".to_owned(),
+                retry_after_ms: 500,
+            },
+            Response::StatusOk {
+                jobs: vec![JobSnapshot {
+                    job_id: 1,
+                    kind: "attack_matrix".to_owned(),
+                    status: "running".to_owned(),
+                    cells_done: 2,
+                    cells_total: 4,
+                    error: None,
+                }],
+            },
+            Response::Event {
+                job_id: 1,
+                event: JobEvent::CellDone {
+                    cell: 2,
+                    total: 4,
+                    scheme: "TWL_swp".to_owned(),
+                    workload: "repeat".to_owned(),
+                },
+            },
+            Response::Event {
+                job_id: 1,
+                event: JobEvent::Checkpointed { cells_done: 3 },
+            },
+            Response::JobResult {
+                job_id: 1,
+                result: Json::obj([("kind", str("attack_matrix"))]),
+            },
+            Response::JobFailed {
+                job_id: 1,
+                error: "boom".to_owned(),
+            },
+            Response::CancelOk {
+                job_id: 1,
+                cancelled: true,
+            },
+            Response::ShutdownOk,
+            Response::Error {
+                message: "nope".to_owned(),
+            },
+        ];
+        for resp in responses {
+            let text = resp.to_json().to_compact();
+            let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn unknown_types_are_rejected() {
+        let v = Json::obj([("type", str("frobnicate"))]);
+        assert!(Request::from_json(&v).is_err());
+        assert!(Response::from_json(&v).is_err());
+        assert!(Request::from_json(&Json::Null).is_err());
+    }
+}

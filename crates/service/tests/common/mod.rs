@@ -1,0 +1,78 @@
+//! Shared helpers for the service integration tests: spawning the real
+//! `twl-serviced` binary and scratch directories.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// A spawned `twl-serviced` child bound to an OS-assigned port.
+pub struct Daemon {
+    child: Child,
+    /// The `host:port` the daemon announced.
+    pub addr: String,
+}
+
+impl Daemon {
+    /// Spawns the daemon on `127.0.0.1:0` with extra flags and
+    /// environment variables, and parses the announced address.
+    pub fn spawn(extra_args: &[&str], envs: &[(&str, String)]) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_twl-serviced"));
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("spawn twl-serviced");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the listening line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in the listening line")
+            .to_owned();
+        assert!(addr.contains(':'), "unexpected announce line: {line:?}");
+        Self { child, addr }
+    }
+
+    /// Waits (bounded) for the daemon to exit on its own.
+    ///
+    /// Panics — which kills the child via `Drop` — if it is still
+    /// running when the timeout expires.
+    pub fn wait_exit(&mut self, timeout: Duration) -> ExitStatus {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait daemon") {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit within {timeout:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A fresh per-process scratch directory under the system temp dir.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("twl-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

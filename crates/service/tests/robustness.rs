@@ -1,0 +1,119 @@
+//! Protocol robustness: malformed, truncated, and oversized frames —
+//! including proptest-generated random byte blobs — must at worst cost
+//! the offending connection. The daemon keeps serving throughout.
+//!
+//! These tests run the server in-process (one shared instance for the
+//! whole binary) and poke it with raw TCP writes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use twl_service::{Client, Server, ServiceConfig, MAX_FRAME_BYTES};
+use twl_telemetry::json::Json;
+
+/// Binds one shared in-process server for every test in this binary
+/// and returns its address. The server thread dies with the process.
+fn shared_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            ..ServiceConfig::default()
+        };
+        let server = Server::bind(&config).expect("bind in-process server");
+        let addr = server.local_addr().expect("local addr").to_string();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        addr
+    })
+}
+
+/// Writes raw bytes, half-closes, and drains whatever the server sends
+/// back before it drops the connection.
+fn poke(bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(shared_addr()).expect("connect raw");
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    reply
+}
+
+/// Decodes a single response frame, if the reply holds one.
+fn decode_reply(reply: &[u8]) -> Option<Json> {
+    if reply.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) as usize;
+    let payload = reply.get(4..4 + len)?;
+    Json::parse(std::str::from_utf8(payload).ok()?).ok()
+}
+
+/// The daemon must still complete a full handshake.
+fn assert_still_serving() {
+    let client = Client::connect(shared_addr());
+    assert!(client.is_ok(), "daemon stopped serving: {:?}", client.err());
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let declared = u32::try_from(MAX_FRAME_BYTES).unwrap() + 1;
+    let reply = poke(&declared.to_be_bytes());
+    let frame = decode_reply(&reply).expect("an error frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    assert_still_serving();
+}
+
+#[test]
+fn truncated_frame_closes_only_that_connection() {
+    // Header promises 100 bytes; only 5 arrive before the half-close.
+    let mut bytes = 100u32.to_be_bytes().to_vec();
+    bytes.extend_from_slice(b"hello");
+    let reply = poke(&bytes);
+    if let Some(frame) = decode_reply(&reply) {
+        assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    }
+    assert_still_serving();
+}
+
+#[test]
+fn non_json_payload_gets_a_protocol_error() {
+    let payload = b"\xff\xfe not json";
+    let mut bytes = u32::try_from(payload.len()).unwrap().to_be_bytes().to_vec();
+    bytes.extend_from_slice(payload);
+    let reply = poke(&bytes);
+    let frame = decode_reply(&reply).expect("an error frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    assert_still_serving();
+}
+
+#[test]
+fn valid_json_with_unknown_type_gets_a_protocol_error() {
+    let payload = br#"{"type":"frobnicate"}"#;
+    let mut bytes = u32::try_from(payload.len()).unwrap().to_be_bytes().to_vec();
+    bytes.extend_from_slice(payload);
+    let reply = poke(&bytes);
+    let frame = decode_reply(&reply).expect("an error frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    assert_still_serving();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary byte blobs — empty, partial headers, garbage payloads,
+    /// wild length prefixes — never take the daemon down.
+    #[test]
+    fn random_byte_frames_never_kill_the_daemon(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = poke(&bytes);
+        let client = Client::connect(shared_addr());
+        prop_assert!(client.is_ok(), "daemon stopped serving: {:?}", client.err());
+    }
+}

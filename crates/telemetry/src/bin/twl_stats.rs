@@ -1,21 +1,23 @@
 //! `twl-stats`: inspect twl-telemetry JSONL traces.
 //!
 //! ```text
-//! twl-stats <trace.jsonl>                    per-scheme summary table
-//! twl-stats --diff <old.jsonl> <new.jsonl>   wear-out regression check
+//! twl-stats <trace.jsonl> [--format table|json]   per-scheme summary
+//! twl-stats --diff <old.jsonl> <new.jsonl>        wear-out regression check
 //!           [--tolerance 0.05]
 //! ```
 //!
-//! `--diff` exits non-zero when the new trace regresses lifetime, write
-//! amplification, or wear inequality beyond the tolerance, so it can
-//! gate CI.
+//! `--format json` emits one machine-readable JSON document (see
+//! [`render_summary_json`]) so `twl-ctl` and CI can assert on inspector
+//! output without screen-scraping tables. `--diff` exits non-zero when
+//! the new trace regresses lifetime, write amplification, or wear
+//! inequality beyond the tolerance, so it can gate CI.
 
 use std::process::ExitCode;
 
-use twl_telemetry::{diff_traces, render_summary_table, Trace};
+use twl_telemetry::{diff_traces, render_summary_json, render_summary_table, Trace};
 
 const USAGE: &str = "usage:
-  twl-stats <trace.jsonl>
+  twl-stats <trace.jsonl> [--format table|json]
   twl-stats --diff <old.jsonl> <new.jsonl> [--tolerance <fraction>]";
 
 fn load(path: &str) -> Result<Trace, String> {
@@ -27,6 +29,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         [path] if path != "--diff" && !path.starts_with("--") => {
             let trace = load(path)?;
             print!("{}", render_summary_table(&trace));
+            Ok(ExitCode::SUCCESS)
+        }
+        // `--format` is accepted on either side of the path.
+        [path, fmt_flag, fmt] | [fmt_flag, fmt, path]
+            if fmt_flag == "--format" && !path.starts_with("--") =>
+        {
+            let trace = load(path)?;
+            match fmt.as_str() {
+                "table" => print!("{}", render_summary_table(&trace)),
+                "json" => println!("{}", render_summary_json(&trace)),
+                other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+            }
             Ok(ExitCode::SUCCESS)
         }
         [flag, rest @ ..] if flag == "--diff" => {

@@ -287,6 +287,85 @@ pub fn render_summary_table(trace: &Trace) -> String {
     out
 }
 
+/// Renders the same per-scheme summary as [`render_summary_table`], but
+/// as one machine-readable JSON document, so `twl-ctl` and CI can
+/// assert on inspector output without screen-scraping tables.
+///
+/// Shape: `{"schema", "run"?, "summaries": [...], "degradation": [...],
+/// "alarms": {scheme: count}, "skipped"}`. Each summary object carries
+/// every [`SchemeSummary`] field plus `wear_p50`/`wear_p99`/`wear_max`
+/// joined from the cell's final wear snapshot when present.
+#[must_use]
+pub fn render_summary_json(trace: &Trace) -> String {
+    use crate::json::{int, num, str, Json};
+    let mut root: BTreeMap<String, Json> = BTreeMap::new();
+    root.insert(
+        "schema".to_owned(),
+        Json::Str(crate::SCHEMA_VERSION.to_owned()),
+    );
+    if let Some((tool, pages, endurance, seed)) = trace.run_start() {
+        root.insert(
+            "run".to_owned(),
+            Json::obj([
+                ("tool", str(tool)),
+                ("pages", int(pages)),
+                ("mean_endurance", int(endurance)),
+                ("seed", int(seed)),
+            ]),
+        );
+    }
+    let summaries: Vec<Json> = trace
+        .summaries()
+        .map(|s| {
+            let mut obj = match TelemetryRecord::Summary(s.clone()).to_json() {
+                Json::Obj(map) => map,
+                _ => unreachable!("summary records serialize to objects"),
+            };
+            // The table form joins wear percentiles; the JSON form does
+            // the same so both views carry identical information.
+            if let Some(w) = trace.final_wear(&s.scheme, &s.workload) {
+                obj.insert("wear_p50".to_owned(), int(w.summary.p50));
+                obj.insert("wear_p99".to_owned(), int(w.summary.p99));
+                obj.insert("wear_max".to_owned(), int(w.summary.max));
+            }
+            // The `schema`/`kind` discriminators belong to the record
+            // framing, not to a summary row inside this document.
+            obj.remove("schema");
+            obj.remove("kind");
+            Json::Obj(obj)
+        })
+        .collect();
+    root.insert("summaries".to_owned(), Json::Arr(summaries));
+    let degradation: Vec<Json> = trace
+        .degradation_cells()
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("scheme", str(&c.scheme)),
+                ("workload", str(&c.workload)),
+                ("points", int(c.points)),
+                ("at_device_writes", int(c.at_device_writes)),
+                ("corrected_groups", int(c.corrected_groups)),
+                ("retired_pages", int(c.retired_pages)),
+                ("spares_remaining", int(c.spares_remaining)),
+                ("capacity_fraction", num(c.capacity_fraction)),
+            ])
+        })
+        .collect();
+    root.insert("degradation".to_owned(), Json::Arr(degradation));
+    let alarms: BTreeMap<String, Json> = trace
+        .alarms_by_scheme()
+        .into_iter()
+        .map(|(scheme, count)| (scheme.to_owned(), int(count)))
+        .collect();
+    root.insert("alarms".to_owned(), Json::Obj(alarms));
+    root.insert(
+        "skipped".to_owned(),
+        int(u64::try_from(trace.skipped).unwrap_or(u64::MAX)),
+    );
+    Json::Obj(root).to_compact()
+}
+
 /// One detected regression between two traces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -444,6 +523,54 @@ mod tests {
             !table.contains("no scheme_summary"),
             "degradation-only traces are not empty:\n{table}"
         );
+    }
+
+    #[test]
+    fn json_summary_is_parseable_and_joins_wear() {
+        use crate::json::Json;
+        use crate::wear::WearSummary;
+        let trace = trace_of(vec![
+            TelemetryRecord::RunStart {
+                tool: "twl-serviced".to_owned(),
+                pages: 128,
+                mean_endurance: 2_000,
+                seed: 8,
+            },
+            summary("twl-swp", 6.5, 0.025, 0.01),
+            TelemetryRecord::Wear {
+                scheme: "twl-swp".to_owned(),
+                workload: "uniform".to_owned(),
+                snapshot: WearSnapshot {
+                    seq: 0,
+                    at_writes: 1000,
+                    summary: WearSummary::from_counts(&[5, 6, 7, 8]),
+                },
+            },
+        ]);
+        let doc = Json::parse(&render_summary_json(&trace)).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("twl-telemetry/v1")
+        );
+        assert_eq!(
+            doc.get("run")
+                .and_then(|r| r.get("tool"))
+                .and_then(Json::as_str),
+            Some("twl-serviced")
+        );
+        let summaries = doc.get("summaries").and_then(Json::as_arr).unwrap();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(
+            summaries[0].get("scheme").and_then(Json::as_str),
+            Some("twl-swp")
+        );
+        assert_eq!(summaries[0].get("wear_max").and_then(Json::as_u64), Some(8));
+        assert_eq!(summaries[0].get("years").and_then(Json::as_f64), Some(6.5));
+        assert!(
+            summaries[0].get("kind").is_none(),
+            "framing fields stripped"
+        );
+        assert_eq!(doc.get("skipped").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

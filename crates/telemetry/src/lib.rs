@@ -14,12 +14,17 @@
 //!    summaries captured every N writes into a bounded ring buffer.
 //! 3. **Sinks** ([`Sink`], [`MemorySink`], [`JsonlSink`], [`emit`]) —
 //!    pluggable record destinations: in-memory for tests, buffered
-//!    schema-versioned JSONL files for benchmark tools. When no sink is
-//!    installed, [`emit`] costs one relaxed atomic load.
+//!    schema-versioned JSONL files for benchmark tools, and the
+//!    scope-routed [`RoutingJsonlSink`] that fans one pipeline out to
+//!    per-job trace files keyed by a thread-local label
+//!    ([`ScopeGuard`]) — how the `twl-service` daemon gives every job
+//!    its own trace. When no sink is installed, [`emit`] costs one
+//!    relaxed atomic load.
 //! 4. **Inspection** ([`Trace`], [`render_summary_table`],
-//!    [`diff_traces`]) — the library behind the `twl-stats` binary:
-//!    loads JSONL traces, renders per-scheme tables, and flags wear-out
-//!    regressions between two traces.
+//!    [`render_summary_json`], [`diff_traces`]) — the library behind
+//!    the `twl-stats` binary: loads JSONL traces, renders per-scheme
+//!    tables (or one machine-readable JSON document), and flags
+//!    wear-out regressions between two traces.
 //!
 //! Every emitted record carries [`SCHEMA_VERSION`] so traces remain
 //! self-describing as the schema evolves.
@@ -29,6 +34,7 @@
 mod inspect;
 mod metrics;
 mod record;
+mod route;
 mod sink;
 mod wear;
 
@@ -37,9 +43,12 @@ pub mod json;
 /// Schema tag stamped on every JSONL record.
 pub const SCHEMA_VERSION: &str = "twl-telemetry/v1";
 
-pub use inspect::{diff_traces, render_summary_table, DegradationCell, Regression, Trace};
+pub use inspect::{
+    diff_traces, render_summary_json, render_summary_table, DegradationCell, Regression, Trace,
+};
 pub use metrics::{global, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use record::{SchemeSummary, TelemetryRecord};
+pub use route::{clear_scope, current_scope, set_scope, RoutingJsonlSink, ScopeGuard};
 pub use sink::{
     clear_sinks, emit, enabled, flush_sinks, install_sink, set_enabled, JsonlSink, MemorySink, Sink,
 };

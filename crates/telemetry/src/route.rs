@@ -1,0 +1,226 @@
+//! Scope-routed trace sinks: fan one global pipeline out to per-job
+//! trace files.
+//!
+//! The emission pipeline ([`crate::emit`]) is process-global, but a
+//! long-lived server (the `twl-service` daemon) runs many jobs
+//! concurrently on different worker threads and wants each job's
+//! records in its own file. The bridge is a *thread-local scope label*:
+//! a worker calls [`set_scope`] (or holds a [`ScopeGuard`]) around a
+//! job, and a [`RoutingJsonlSink`] installed once at startup routes
+//! every record to `dir/<scope>.trace.jsonl` based on the label of the
+//! thread that emitted it. Records emitted with no scope set are
+//! dropped by the routing sink (other installed sinks still see them).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+use crate::record::TelemetryRecord;
+use crate::sink::Sink;
+
+thread_local! {
+    static SCOPE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Labels every record the *current thread* emits until [`clear_scope`]
+/// (or the next `set_scope`). Prefer [`ScopeGuard`] so panics cannot
+/// leak a stale label.
+pub fn set_scope(label: impl Into<String>) {
+    let label = label.into();
+    SCOPE.with(|s| *s.borrow_mut() = Some(label));
+}
+
+/// Removes the current thread's scope label.
+pub fn clear_scope() {
+    SCOPE.with(|s| *s.borrow_mut() = None);
+}
+
+/// The current thread's scope label, if any.
+#[must_use]
+pub fn current_scope() -> Option<String> {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+/// RAII scope label: sets on construction, clears on drop.
+///
+/// # Examples
+///
+/// ```
+/// let _guard = twl_telemetry::ScopeGuard::new("job-7");
+/// assert_eq!(twl_telemetry::current_scope().as_deref(), Some("job-7"));
+/// drop(_guard);
+/// assert_eq!(twl_telemetry::current_scope(), None);
+/// ```
+#[derive(Debug)]
+pub struct ScopeGuard(());
+
+impl ScopeGuard {
+    /// Sets the current thread's scope to `label`.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        set_scope(label);
+        Self(())
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        clear_scope();
+    }
+}
+
+/// Replaces any character that could escape the routing directory (or
+/// upset a filesystem) so a scope label is always a safe file stem.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A sink that routes each record to `dir/<scope>.trace.jsonl`, where
+/// `<scope>` is the emitting thread's label (see [`set_scope`]).
+/// Unscoped records are dropped. Files are created lazily on the first
+/// record of each scope and appended to afterwards, so a resumed job
+/// keeps extending its original trace.
+#[derive(Debug)]
+pub struct RoutingJsonlSink {
+    dir: PathBuf,
+    writers: HashMap<String, BufWriter<File>>,
+}
+
+impl RoutingJsonlSink {
+    /// Creates the routing sink over `dir`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            writers: HashMap::new(),
+        })
+    }
+
+    /// The trace-file path a scope label routes to.
+    #[must_use]
+    pub fn path_for(&self, scope: &str) -> PathBuf {
+        self.dir.join(format!("{}.trace.jsonl", sanitize(scope)))
+    }
+}
+
+impl Sink for RoutingJsonlSink {
+    fn record(&mut self, record: &TelemetryRecord) {
+        let Some(scope) = current_scope() else {
+            return;
+        };
+        let path = self.path_for(&scope);
+        let writer = match self.writers.entry(sanitize(&scope)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // Append, not truncate: a resumed job continues its file.
+                match File::options().create(true).append(true).open(&path) {
+                    Ok(f) => e.insert(BufWriter::new(f)),
+                    // A failed trace file must not kill the daemon.
+                    Err(_) => return,
+                }
+            }
+        };
+        let _ = writeln!(writer, "{}", record.to_jsonl());
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut first_err = None;
+        for w in self.writers.values_mut() {
+            if let Err(e) = w.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alarm(window: u64) -> TelemetryRecord {
+        TelemetryRecord::Alarm {
+            scheme: "twl".to_owned(),
+            window,
+            share: 0.5,
+        }
+    }
+
+    #[test]
+    fn routes_by_thread_scope_and_drops_unscoped() {
+        let dir = std::env::temp_dir().join("twl-route-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = RoutingJsonlSink::create(&dir).expect("create dir");
+
+        sink.record(&alarm(0)); // no scope: dropped
+        {
+            let _guard = ScopeGuard::new("job-1");
+            sink.record(&alarm(1));
+            sink.record(&alarm(2));
+        }
+        {
+            let _guard = ScopeGuard::new("job-2");
+            sink.record(&alarm(3));
+        }
+        sink.flush().expect("flush");
+
+        let read = |scope: &str| std::fs::read_to_string(sink.path_for(scope)).unwrap();
+        assert_eq!(read("job-1").lines().count(), 2);
+        assert_eq!(read("job-2").lines().count(), 1);
+        assert!(!sink.path_for("unscoped").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_keeps_resumed_traces() {
+        let dir = std::env::temp_dir().join("twl-route-append-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _guard = ScopeGuard::new("job-9");
+        {
+            let mut sink = RoutingJsonlSink::create(&dir).expect("create dir");
+            sink.record(&alarm(1));
+            sink.flush().unwrap();
+        }
+        // A second sink (a restarted daemon) appends to the same file.
+        let mut sink = RoutingJsonlSink::create(&dir).expect("recreate dir");
+        sink.record(&alarm(2));
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(sink.path_for("job-9")).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scope_labels_are_sanitized() {
+        let dir = std::env::temp_dir().join("twl-route-sanitize-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = RoutingJsonlSink::create(&dir).expect("create dir");
+        let path = sink.path_for("../evil/job 1");
+        assert!(path.starts_with(&dir), "{}", path.display());
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with(".._evil_job_1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
