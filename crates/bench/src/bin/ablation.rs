@@ -6,19 +6,19 @@
 //! * optimized 2-write vs naive 3-write swap-then-write;
 //! * inter-pair swap interval.
 //!
-//! Each variant runs the four Fig. 6 attacks; the table reports the
-//! geometric-mean lifetime and the extra-write ratio. A second table
-//! ablates BWL's band-repair pass (benign lifetime vs attack
-//! robustness).
+//! Each variant is one [`SchemeSpec`] — the whole study is a single
+//! spec × attack matrix submitted to the shared sweep runner (pooled
+//! workers, batched fast path), and the same labels can be submitted
+//! to `twl-serviced` via `twl-ctl submit --schemes ...`. The table
+//! reports the geometric-mean lifetime and the extra-write ratio. A
+//! second table ablates BWL's band-repair pass (benign lifetime vs
+//! attack robustness) the same way.
 //!
 //! Run: `cargo run --release -p twl-bench --bin ablation [-- --pages N ...]`
 
-use twl_attacks::{Attack, AttackKind};
-use twl_baselines::{BloomFilterWl, BwlConfig};
+use twl_attacks::AttackKind;
 use twl_bench::{print_table, ExperimentConfig};
-use twl_core::{PairingStrategy, TossUpWearLeveling, TwlConfig, TwlConfigBuilder};
-use twl_lifetime::{run_attack, run_workload, Calibration, SimLimits};
-use twl_pcm::PcmDevice;
+use twl_lifetime::{attack_matrix, workload_matrix, SchemeSpec, SimLimits};
 use twl_workloads::ParsecBenchmark;
 
 fn main() {
@@ -30,78 +30,43 @@ fn main() {
         config.pages, config.mean_endurance, config.seed
     );
 
-    let variants: Vec<(&str, TwlConfig)> = vec![
-        (
-            "baseline (swp, initial E, 2-write swap)",
-            TwlConfig::dac17(),
-        ),
-        ("adjacent pairing", TwlConfig::dac17_adjacent()),
-        (
-            "random pairing",
-            build(|b| {
-                b.pairing(PairingStrategy::Random { seed: 7 });
-            }),
-        ),
-        (
-            "dynamic (remaining) endurance",
-            build(|b| {
-                b.dynamic_endurance(true);
-            }),
-        ),
-        (
-            "naive 3-write swap",
-            build(|b| {
-                b.optimized_swap(false);
-            }),
-        ),
-        (
-            "inter-pair interval 32",
-            build(|b| {
-                b.inter_pair_swap_interval(32);
-            }),
-        ),
-        (
-            "inter-pair interval 512",
-            build(|b| {
-                b.inter_pair_swap_interval(512);
-            }),
-        ),
-        (
-            "no inter-pair swap",
-            build(|b| {
-                b.inter_pair_swap_interval(u64::MAX);
-            }),
-        ),
+    let variants: Vec<(&str, SchemeSpec)> = vec![
+        ("baseline (swp, initial E, 2-write swap)", spec("TWL_swp")),
+        ("adjacent pairing", spec("TWL_ap")),
+        ("random pairing", spec("TWL_swp[pair=rnd:7]")),
+        ("dynamic (remaining) endurance", spec("TWL_swp[dyn=1]")),
+        ("naive 3-write swap", spec("TWL_swp[swap=3]")),
+        ("inter-pair interval 32", spec("TWL_swp[ip=32]")),
+        ("inter-pair interval 512", spec("TWL_swp[ip=512]")),
+        ("no inter-pair swap", spec("TWL_swp[ip=off]")),
     ];
 
+    let specs: Vec<SchemeSpec> = variants.iter().map(|(_, s)| *s).collect();
+    let reports = attack_matrix(
+        &config.pcm_config(),
+        &specs,
+        &AttackKind::ALL,
+        &SimLimits::default(),
+    );
+
     let headers = ["variant", "Gmean (yr)", "worst (yr)", "extra writes"];
-    let mut rows = Vec::new();
-    for (name, twl_config) in variants {
-        let mut product = 1.0f64;
-        let mut worst = f64::INFINITY;
-        let mut extra = 0.0f64;
-        for kind in AttackKind::ALL {
-            let mut device = config.device();
-            let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
-            let mut attack = Attack::new(kind, config.pages, config.seed);
-            let report = run_attack(
-                &mut twl,
-                &mut device,
-                &mut attack,
-                &SimLimits::default(),
-                &Calibration::attack_8gbps(),
-            );
-            product *= report.years.max(1e-6);
-            worst = worst.min(report.years);
-            extra += report.extra_write_ratio;
-        }
-        rows.push(vec![
-            name.to_owned(),
-            format!("{:.2}", product.powf(0.25)),
-            format!("{:.2}", worst),
-            format!("{:.3}", extra / 4.0),
-        ]);
-    }
+    let per_variant = AttackKind::ALL.len();
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            let chunk = &reports[i * per_variant..(i + 1) * per_variant];
+            let product: f64 = chunk.iter().map(|r| r.years.max(1e-6)).product();
+            let worst = chunk.iter().map(|r| r.years).fold(f64::INFINITY, f64::min);
+            let extra: f64 = chunk.iter().map(|r| r.extra_write_ratio).sum();
+            vec![
+                (*name).to_owned(),
+                format!("{:.2}", product.powf(1.0 / per_variant as f64)),
+                format!("{:.2}", worst),
+                format!("{:.3}", extra / per_variant as f64),
+            ]
+        })
+        .collect();
     print_table(&headers, &rows);
 
     // BWL band-repair ablation: the repair pass is our addition on top
@@ -109,48 +74,39 @@ fn main() {
     // lifetime and does not rescue BWL from the inconsistent attack.
     println!("\nBWL band-repair ablation:");
     let bench = ParsecBenchmark::Canneal;
+    let bwl_variants: [(&str, SchemeSpec); 2] = [
+        ("with band repair (default)", spec("BWL")),
+        ("naive (DATE'12 flow only)", spec("BWL[repair=0]")),
+    ];
+    let bwl_specs: Vec<SchemeSpec> = bwl_variants.iter().map(|(_, s)| *s).collect();
+    let benign = workload_matrix(
+        &config.pcm_config(),
+        &bwl_specs,
+        &[bench],
+        &SimLimits::default(),
+    );
+    let attacked = attack_matrix(
+        &config.pcm_config(),
+        &bwl_specs,
+        &[AttackKind::Inconsistent],
+        &SimLimits::default(),
+    );
     let headers = ["BWL variant", "benign frac (canneal)", "inconsistent (yr)"];
-    let mut rows = Vec::new();
-    for (name, bwl_config) in [
-        (
-            "with band repair (default)",
-            BwlConfig::for_pages(config.pages),
-        ),
-        ("naive (DATE'12 flow only)", BwlConfig::naive(config.pages)),
-    ] {
-        let mut device = PcmDevice::new(&config.pcm_config());
-        let mut bwl = BloomFilterWl::new(&bwl_config, config.pages);
-        let mut workload = bench.workload(config.pages, config.seed);
-        let benign = run_workload(
-            &mut bwl,
-            &mut device,
-            &mut workload,
-            bench.name(),
-            &SimLimits::default(),
-            &Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps()),
-        );
-        let mut device = PcmDevice::new(&config.pcm_config());
-        let mut bwl = BloomFilterWl::new(&bwl_config, config.pages);
-        let mut attack = Attack::new(AttackKind::Inconsistent, config.pages, config.seed);
-        let attacked = run_attack(
-            &mut bwl,
-            &mut device,
-            &mut attack,
-            &SimLimits::default(),
-            &Calibration::attack_8gbps(),
-        );
-        rows.push(vec![
-            name.to_owned(),
-            format!("{:.3}", benign.capacity_fraction),
-            format!("{:.2}", attacked.years),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = bwl_variants
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.3}", benign[i].capacity_fraction),
+                format!("{:.2}", attacked[i].years),
+            ]
+        })
+        .collect();
     print_table(&headers, &rows);
     twl_bench::finish_telemetry();
 }
 
-fn build(f: impl FnOnce(&mut TwlConfigBuilder)) -> TwlConfig {
-    let mut builder = TwlConfig::builder();
-    f(&mut builder);
-    builder.build().expect("ablation configs are valid")
+fn spec(label: &str) -> SchemeSpec {
+    label.parse().expect("ablation spec labels are valid")
 }

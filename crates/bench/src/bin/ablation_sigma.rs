@@ -9,12 +9,16 @@
 //! widens, and the inconsistent attack's payoff against BWL grows with
 //! the weak pages' weakness.
 //!
+//! Each sigma row is a scheme × attack matrix submitted to the shared
+//! sweep runner — the cells run on the worker pool with the batched
+//! fast path.
+//!
 //! Run: `cargo run --release -p twl-bench --bin ablation_sigma [-- --pages N ...]`
 
-use twl_attacks::{Attack, AttackKind};
+use twl_attacks::AttackKind;
 use twl_bench::{print_table, ExperimentConfig};
-use twl_lifetime::{build_scheme, run_attack, Calibration, SchemeKind, SimLimits};
-use twl_pcm::{PcmConfig, PcmDevice};
+use twl_lifetime::{attack_matrix, SchemeKind, SimLimits};
+use twl_pcm::PcmConfig;
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -42,27 +46,26 @@ fn main() {
             .seed(config.seed)
             .build()
             .expect("valid sweep config");
-        let run = |kind: SchemeKind, attack_kind: AttackKind| -> f64 {
-            let mut device = PcmDevice::new(&pcm);
-            let mut scheme =
-                build_scheme(kind, &device).unwrap_or_else(|e| panic!("cannot build {kind}: {e}"));
-            let mut attack = Attack::new(attack_kind, scheme.page_count(), config.seed);
-            run_attack(
-                scheme.as_mut(),
-                &mut device,
-                &mut attack,
-                &SimLimits::default(),
-                &Calibration::attack_8gbps(),
-            )
-            .years
-        };
+        // Scheme-major order: SR scan, SR incons., TWL scan, TWL incons.
+        let main = attack_matrix(
+            &pcm,
+            &[SchemeKind::Sr, SchemeKind::TwlSwp],
+            &[AttackKind::Scan, AttackKind::Inconsistent],
+            &SimLimits::default(),
+        );
+        let bwl = attack_matrix(
+            &pcm,
+            &[SchemeKind::Bwl],
+            &[AttackKind::Inconsistent],
+            &SimLimits::default(),
+        );
         rows.push(vec![
             format!("{:.0}%", sigma * 100.0),
-            format!("{:.2}", run(SchemeKind::Sr, AttackKind::Scan)),
-            format!("{:.2}", run(SchemeKind::TwlSwp, AttackKind::Scan)),
-            format!("{:.2}", run(SchemeKind::Sr, AttackKind::Inconsistent)),
-            format!("{:.2}", run(SchemeKind::TwlSwp, AttackKind::Inconsistent)),
-            format!("{:.2}", run(SchemeKind::Bwl, AttackKind::Inconsistent)),
+            format!("{:.2}", main[0].years),
+            format!("{:.2}", main[2].years),
+            format!("{:.2}", main[1].years),
+            format!("{:.2}", main[3].years),
+            format!("{:.2}", bwl[0].years),
         ]);
     }
     print_table(&headers, &rows);

@@ -6,14 +6,18 @@
 //! * (b) lifetime under the scan attack vs toss-up interval (paper:
 //!   crosses the 3-year server-replacement floor near interval 32–64).
 //!
+//! The whole figure is two declarative [`SchemeSpec`] matrices —
+//! `TWL_swp[ti=N]` for each interval — submitted to the shared sweep
+//! runner, so the cells run on the worker pool with the batched fast
+//! path, and the same study can be submitted to `twl-serviced` with
+//! `twl-ctl submit --schemes "TWL_swp[ti=1],TWL_swp[ti=2],..."`.
+//!
 //! Run: `cargo run --release -p twl-bench --bin fig7_interval [-- --pages N ...]`
 
-use twl_attacks::{Attack, AttackKind};
+use twl_attacks::AttackKind;
 use twl_bench::{print_table, ExperimentConfig};
-use twl_core::{TossUpWearLeveling, TwlConfig};
-use twl_lifetime::{run_attack, run_workload, Calibration, SimLimits};
-use twl_pcm::{PcmConfig, PcmDevice};
-use twl_wl_core::WearLeveler;
+use twl_lifetime::{attack_matrix, workload_matrix, SchemeSpec, SimLimits};
+use twl_pcm::PcmConfig;
 use twl_workloads::ParsecBenchmark;
 
 /// Writes driven per benchmark for the swap-ratio measurement.
@@ -29,67 +33,55 @@ fn main() {
     );
 
     let intervals = [1u64, 2, 4, 8, 16, 32, 64, 128];
+    let specs: Vec<SchemeSpec> = intervals
+        .iter()
+        .map(|i| {
+            format!("TWL_swp[ti={i}]")
+                .parse()
+                .expect("interval spec label parses")
+        })
+        .collect();
+
+    // (a) Swap/write ratio over PARSEC, on a wear-proof device so the
+    // measurement window is identical across intervals.
+    let ratio_pcm = PcmConfig::scaled(config.pages, 100_000_000, config.seed);
+    let ratio_limits = SimLimits {
+        max_logical_writes: RATIO_WRITES,
+    };
+    let ratio_reports = workload_matrix(&ratio_pcm, &specs, &ParsecBenchmark::ALL, &ratio_limits);
+
+    // (b) Lifetime under the scan attack on the endurance-limited device.
+    let scan_reports = attack_matrix(
+        &config.pcm_config(),
+        &specs,
+        &[AttackKind::Scan],
+        &SimLimits::default(),
+    );
+
     let headers = [
         "interval",
         "swap/write (Gmean)",
         "extra writes",
         "scan lifetime (yr)",
     ];
-    let mut rows = Vec::new();
-    for &interval in &intervals {
-        // (a) Swap/write ratio over PARSEC, on a wear-proof device so
-        // the measurement window is identical across intervals.
-        let ratio_pcm = PcmConfig::scaled(config.pages, 100_000_000, config.seed);
-        let mut log_sum = 0.0f64;
-        let mut extra_sum = 0.0f64;
-        for bench in ParsecBenchmark::ALL {
-            let mut device = PcmDevice::new(&ratio_pcm);
-            let twl_config = TwlConfig::builder()
-                .toss_up_interval(interval)
-                .build()
-                .expect("interval is positive");
-            let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
-            let mut workload = bench.workload(config.pages, config.seed);
-            let limits = SimLimits {
-                max_logical_writes: RATIO_WRITES,
-            };
-            let report = run_workload(
-                &mut twl,
-                &mut device,
-                &mut workload,
-                bench.name(),
-                &limits,
-                &Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps()),
-            );
-            log_sum += report.swap_per_write.max(1e-9).ln();
-            extra_sum += report.extra_write_ratio;
-        }
-        let gmean_ratio = (log_sum / ParsecBenchmark::ALL.len() as f64).exp();
-        let mean_extra = extra_sum / ParsecBenchmark::ALL.len() as f64;
-
-        // (b) Lifetime under the scan attack.
-        let mut device = config.device();
-        let twl_config = TwlConfig::builder()
-            .toss_up_interval(interval)
-            .build()
-            .expect("interval is positive");
-        let mut twl = TossUpWearLeveling::new(&twl_config, device.endurance_map());
-        let mut attack = Attack::new(AttackKind::Scan, twl.page_count(), config.seed);
-        let report = run_attack(
-            &mut twl,
-            &mut device,
-            &mut attack,
-            &SimLimits::default(),
-            &Calibration::attack_8gbps(),
-        );
-
-        rows.push(vec![
-            interval.to_string(),
-            format!("{:.3}", gmean_ratio),
-            format!("{:.3}", mean_extra),
-            format!("{:.2}", report.years),
-        ]);
-    }
+    let per_spec = ParsecBenchmark::ALL.len();
+    let rows: Vec<Vec<String>> = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, interval)| {
+            let chunk = &ratio_reports[i * per_spec..(i + 1) * per_spec];
+            let log_sum: f64 = chunk.iter().map(|r| r.swap_per_write.max(1e-9).ln()).sum();
+            let gmean_ratio = (log_sum / per_spec as f64).exp();
+            let mean_extra =
+                chunk.iter().map(|r| r.extra_write_ratio).sum::<f64>() / per_spec as f64;
+            vec![
+                interval.to_string(),
+                format!("{:.3}", gmean_ratio),
+                format!("{:.3}", mean_extra),
+                format!("{:.2}", scan_reports[i].years),
+            ]
+        })
+        .collect();
     print_table(&headers, &rows);
     println!("\nminimum server-replacement requirement: 3 years (paper picks interval 32)");
     twl_bench::finish_telemetry();

@@ -98,13 +98,7 @@ fn replay(
     scheme_name: &str,
     loops: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let kind = match scheme_name {
-        "NOWL" => SchemeKind::Nowl,
-        "SR" => SchemeKind::Sr,
-        "BWL" => SchemeKind::Bwl,
-        "TWL" => SchemeKind::TwlSwp,
-        other => return Err(format!("unknown scheme {other}").into()),
-    };
+    let kind: SchemeKind = scheme_name.parse()?;
     let max_loops: u64 = loops.unwrap_or("100000").parse()?;
     let trace = read_trace(BufReader::new(File::open(path)?))?;
     if trace.is_empty() {
@@ -112,7 +106,7 @@ fn replay(
     }
     let pcm = PcmConfig::scaled(PAGES, 20_000, 42);
     let mut device = PcmDevice::new(&pcm);
-    let mut scheme = build_scheme(kind, &device).map_err(|e| e.to_string())?;
+    let mut scheme = build_scheme(kind, &device)?;
     let logical = scheme.page_count();
 
     let mut total_writes = 0u64;

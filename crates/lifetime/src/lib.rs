@@ -62,7 +62,11 @@ mod sweep;
 
 pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
 pub use report::{DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
-pub use scheme::{build_scheme, build_scheme_for_region, SchemeKind};
+pub use scheme::{
+    build_scheme, build_scheme_for_region, build_scheme_spec, build_scheme_spec_for_region,
+    parse_spec_list, BwlParams, SchemeError, SchemeKind, SchemeParams, SchemeSpec, SrParams,
+    StartGapParams, TwlParams,
+};
 pub use sim::{
     run_attack, run_attack_unbatched, run_degradation_attack, run_degradation_workload,
     run_workload, run_workload_unbatched, SimLimits,

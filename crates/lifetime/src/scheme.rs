@@ -1,15 +1,33 @@
 //! Scheme factory: every wear leveler in the workspace, as data.
+//!
+//! Two layers of identity live here. [`SchemeKind`] names an algorithm
+//! (`TWL_swp`, `SR`, …); [`SchemeSpec`] names a *configuration* of one —
+//! a kind plus a typed set of parameter overrides that default to the
+//! paper's values. A spec is a small `Copy` value with a canonical
+//! string label (`TWL_swp[ti=8,pair=rnd:7]`), a `FromStr`/`Display`
+//! round trip, and a JSON codec, so every experiment in the workspace
+//! — a sweep matrix cell, a service job, a checkpoint — can carry the
+//! exact scheme configuration it ran as data.
+//!
+//! Default-parameter specs are indistinguishable from their bare kind:
+//! they build the identical engine (same code path, same RNG streams),
+//! render as the bare kind label, and encode as a bare label string in
+//! JSON — which is also the backward-compatibility story for job specs
+//! and checkpoints written before `SchemeSpec` existed.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 use twl_baselines::{
     BloomFilterWl, BwlConfig, SecurityRefresh, SrConfig, StartGap, StartGapConfig,
     WearRateLeveling, WrlConfig,
 };
-use twl_core::{TossUpWearLeveling, TwlConfig};
-use twl_pcm::PcmDevice;
-use twl_wl_core::{Nowl, WearLeveler};
+use twl_core::{PairingStrategy, TossUpWearLeveling, TwlConfig};
+use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
+use twl_telemetry::json::{int, str, Json};
+use twl_wl_core::{BatchOutcome, Nowl, ReadOutcome, WearLeveler, WlStats, WriteOutcome};
 
 /// Every scheme the workspace can instantiate, in the paper's naming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,6 +50,17 @@ pub enum SchemeKind {
 }
 
 impl SchemeKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [SchemeKind; 7] = [
+        Self::Nowl,
+        Self::Sr,
+        Self::Bwl,
+        Self::Wrl,
+        Self::StartGap,
+        Self::TwlSwp,
+        Self::TwlAp,
+    ];
+
     /// The schemes of Fig. 6, in its legend order.
     pub const FIG6: [SchemeKind; 5] = [Self::Bwl, Self::Sr, Self::TwlAp, Self::TwlSwp, Self::Nowl];
 
@@ -59,20 +88,749 @@ impl fmt::Display for SchemeKind {
     }
 }
 
+impl FromStr for SchemeKind {
+    type Err = String;
+
+    /// Parses a figure label, case-insensitively. `TWL` is accepted as
+    /// an alias for `TWL_swp` (the paper's headline variant).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let folded = s.trim().to_ascii_lowercase();
+        if folded == "twl" {
+            return Ok(Self::TwlSwp);
+        }
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label().to_ascii_lowercase() == folded)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(SchemeKind::label).collect();
+                format!(
+                    "unknown scheme `{s}` (expected one of {})",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
+/// Why a scheme could not be built or a spec is ill-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchemeError {
+    /// The requested region does not fit the device.
+    InvalidRegion {
+        /// Requested region size in pages.
+        pages: u64,
+        /// The device's total page count.
+        device_pages: u64,
+    },
+    /// A parameter override is invalid for the scheme.
+    InvalidParams {
+        /// The scheme the override targets.
+        kind: SchemeKind,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The scheme rejects the region geometry (e.g. Security Refresh
+    /// on a non-power-of-two page count).
+    Geometry {
+        /// The scheme that rejected the geometry.
+        kind: SchemeKind,
+        /// The scheme's own error message.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRegion {
+                pages,
+                device_pages,
+            } => write!(
+                f,
+                "scheme region of {pages} pages outside a {device_pages}-page device"
+            ),
+            Self::InvalidParams { kind, reason } => {
+                write!(f, "invalid parameters for {kind}: {reason}")
+            }
+            Self::Geometry { kind, reason } => {
+                write!(f, "{kind} rejects the region geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SchemeError {}
+
+/// TWL parameter overrides (`None` keeps the paper default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TwlParams {
+    /// Writes per page between toss-up decisions (paper: 32).
+    pub toss_up_interval: Option<u64>,
+    /// Writes per pair between inter-pair swaps (paper: 128);
+    /// `u64::MAX` disables them (label `ip=off`).
+    pub inter_pair_swap_interval: Option<u64>,
+    /// Pairing strategy override (the kind's own default otherwise).
+    pub pairing: Option<PairingStrategy>,
+    /// `true` for the optimized 2-write swap, `false` for the naive
+    /// 3-write swap (label `swap=2` / `swap=3`).
+    pub optimized_swap: Option<bool>,
+    /// Track measured wear instead of nominal endurance.
+    pub dynamic_endurance: Option<bool>,
+}
+
+/// BWL parameter overrides (`None` keeps the scaled preset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BwlParams {
+    /// Writes per epoch.
+    pub epoch_writes: Option<u64>,
+    /// Initial hot-page threshold.
+    pub initial_hot_threshold: Option<u64>,
+    /// Enable band repair (the BWL paper's refinement).
+    pub band_repair: Option<bool>,
+}
+
+/// Security Refresh parameter overrides (`None` keeps the
+/// endurance-scaled preset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SrParams {
+    /// Inner-level swap interval in writes.
+    pub inner_interval: Option<u64>,
+    /// Outer-level swap interval in writes.
+    pub outer_interval: Option<u64>,
+}
+
+/// Start-Gap parameter overrides (`None` keeps the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct StartGapParams {
+    /// Writes between gap moves (paper: 100).
+    pub gap_interval: Option<u64>,
+}
+
+/// Typed per-scheme parameter overrides.
+///
+/// `Default` (the common case) means "the paper configuration"; the
+/// other variants carry `Option` override fields for one scheme family.
+/// A variant whose fields are all `None` is semantically `Default`;
+/// [`SchemeSpec::canonical`] normalizes it away.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SchemeParams {
+    /// Paper-default configuration.
+    #[default]
+    Default,
+    /// Overrides for the TWL kinds.
+    Twl(TwlParams),
+    /// Overrides for BWL.
+    Bwl(BwlParams),
+    /// Overrides for Security Refresh.
+    Sr(SrParams),
+    /// Overrides for Start-Gap.
+    StartGap(StartGapParams),
+}
+
+/// A scheme *configuration*: a kind plus typed parameter overrides.
+///
+/// The unit of scheme identity everywhere schemes travel as data —
+/// sweep matrices, service jobs, checkpoints, bench tables. Construct
+/// one with [`SchemeSpec::new`] (paper defaults), tweak it with
+/// [`SchemeSpec::set_param`], or parse a label:
+///
+/// ```
+/// use twl_lifetime::SchemeSpec;
+///
+/// let spec: SchemeSpec = "TWL_swp[ti=8,pair=rnd:7]".parse().unwrap();
+/// assert_eq!(spec.label(), "TWL_swp[ti=8,pair=rnd:7]");
+/// let plain: SchemeSpec = "BWL".parse().unwrap();
+/// assert!(plain.is_default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    /// The algorithm.
+    pub kind: SchemeKind,
+    /// Parameter overrides (paper defaults when `Default`).
+    pub params: SchemeParams,
+}
+
+impl From<SchemeKind> for SchemeSpec {
+    fn from(kind: SchemeKind) -> Self {
+        Self::new(kind)
+    }
+}
+
+impl From<&SchemeSpec> for SchemeSpec {
+    fn from(spec: &SchemeSpec) -> Self {
+        *spec
+    }
+}
+
+impl SchemeSpec {
+    /// The paper-default spec for `kind`.
+    #[must_use]
+    pub fn new(kind: SchemeKind) -> Self {
+        Self {
+            kind,
+            params: SchemeParams::Default,
+        }
+    }
+
+    /// Whether this spec is the paper-default configuration (no
+    /// effective overrides).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.label_parts().is_empty()
+    }
+
+    /// Normalizes an all-`None` params variant back to
+    /// [`SchemeParams::Default`], so equal configurations compare equal.
+    #[must_use]
+    pub fn canonical(mut self) -> Self {
+        if self.is_default() {
+            self.params = SchemeParams::Default;
+        }
+        self
+    }
+
+    /// The canonical label: the kind label, plus `[k=v,...]` for any
+    /// overridden parameters in a fixed key order. Round-trips through
+    /// [`FromStr`] and is what reports, telemetry scopes, and service
+    /// events use for this spec.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let parts = self.label_parts();
+        if parts.is_empty() {
+            self.kind.label().to_owned()
+        } else {
+            format!("{}[{}]", self.kind.label(), parts.join(","))
+        }
+    }
+
+    fn label_parts(&self) -> Vec<String> {
+        let mut parts = Vec::new();
+        match &self.params {
+            SchemeParams::Default => {}
+            SchemeParams::Twl(p) => {
+                if let Some(v) = p.toss_up_interval {
+                    parts.push(format!("ti={v}"));
+                }
+                if let Some(v) = p.inter_pair_swap_interval {
+                    if v == u64::MAX {
+                        parts.push("ip=off".to_owned());
+                    } else {
+                        parts.push(format!("ip={v}"));
+                    }
+                }
+                if let Some(v) = p.pairing {
+                    parts.push(format!("pair={}", pairing_label(v)));
+                }
+                if let Some(v) = p.optimized_swap {
+                    parts.push(format!("swap={}", if v { 2 } else { 3 }));
+                }
+                if let Some(v) = p.dynamic_endurance {
+                    parts.push(format!("dyn={}", u8::from(v)));
+                }
+            }
+            SchemeParams::Bwl(p) => {
+                if let Some(v) = p.epoch_writes {
+                    parts.push(format!("epoch={v}"));
+                }
+                if let Some(v) = p.initial_hot_threshold {
+                    parts.push(format!("thr={v}"));
+                }
+                if let Some(v) = p.band_repair {
+                    parts.push(format!("repair={}", u8::from(v)));
+                }
+            }
+            SchemeParams::Sr(p) => {
+                if let Some(v) = p.inner_interval {
+                    parts.push(format!("inner={v}"));
+                }
+                if let Some(v) = p.outer_interval {
+                    parts.push(format!("outer={v}"));
+                }
+            }
+            SchemeParams::StartGap(p) => {
+                if let Some(v) = p.gap_interval {
+                    parts.push(format!("gap={v}"));
+                }
+            }
+        }
+        parts
+    }
+
+    /// Applies one `key=value` override, creating the right params
+    /// variant for this spec's kind. Keys are the short label-grammar
+    /// names (`ti`, `ip`, `pair`, `swap`, `dyn`, `epoch`, `thr`,
+    /// `repair`, `inner`, `outer`, `gap`); the long JSON field names
+    /// are accepted as aliases.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the key is unknown for the kind or the
+    /// value does not parse.
+    pub fn set_param(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match self.kind {
+            SchemeKind::TwlSwp | SchemeKind::TwlAp => {
+                let p = self.twl_params_mut();
+                match key {
+                    "ti" | "toss_up_interval" => p.toss_up_interval = Some(parse_u64(key, value)?),
+                    "ip" | "inter_pair_swap_interval" => {
+                        p.inter_pair_swap_interval = Some(if value == "off" {
+                            u64::MAX
+                        } else {
+                            parse_u64(key, value)?
+                        });
+                    }
+                    "pair" | "pairing" => p.pairing = Some(parse_pairing(value)?),
+                    "swap" => {
+                        p.optimized_swap = Some(match value {
+                            "2" => true,
+                            "3" => false,
+                            _ => return Err(format!("`swap` must be 2 or 3, got `{value}`")),
+                        });
+                    }
+                    "optimized_swap" => p.optimized_swap = Some(parse_bool01(key, value)?),
+                    "dyn" | "dynamic_endurance" => {
+                        p.dynamic_endurance = Some(parse_bool01(key, value)?);
+                    }
+                    _ => return Err(unknown_key(self.kind, key)),
+                }
+            }
+            SchemeKind::Bwl => {
+                let p = self.bwl_params_mut();
+                match key {
+                    "epoch" | "epoch_writes" => p.epoch_writes = Some(parse_u64(key, value)?),
+                    "thr" | "initial_hot_threshold" => {
+                        p.initial_hot_threshold = Some(parse_u64(key, value)?);
+                    }
+                    "repair" | "band_repair" => p.band_repair = Some(parse_bool01(key, value)?),
+                    _ => return Err(unknown_key(self.kind, key)),
+                }
+            }
+            SchemeKind::Sr => {
+                let p = self.sr_params_mut();
+                match key {
+                    "inner" | "inner_interval" => p.inner_interval = Some(parse_u64(key, value)?),
+                    "outer" | "outer_interval" => p.outer_interval = Some(parse_u64(key, value)?),
+                    _ => return Err(unknown_key(self.kind, key)),
+                }
+            }
+            SchemeKind::StartGap => {
+                let p = self.start_gap_params_mut();
+                match key {
+                    "gap" | "gap_interval" => p.gap_interval = Some(parse_u64(key, value)?),
+                    _ => return Err(unknown_key(self.kind, key)),
+                }
+            }
+            SchemeKind::Nowl | SchemeKind::Wrl => {
+                return Err(format!("{} takes no parameters (got `{key}`)", self.kind));
+            }
+        }
+        Ok(())
+    }
+
+    fn twl_params_mut(&mut self) -> &mut TwlParams {
+        if !matches!(self.params, SchemeParams::Twl(_)) {
+            self.params = SchemeParams::Twl(TwlParams::default());
+        }
+        match &mut self.params {
+            SchemeParams::Twl(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    fn bwl_params_mut(&mut self) -> &mut BwlParams {
+        if !matches!(self.params, SchemeParams::Bwl(_)) {
+            self.params = SchemeParams::Bwl(BwlParams::default());
+        }
+        match &mut self.params {
+            SchemeParams::Bwl(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    fn sr_params_mut(&mut self) -> &mut SrParams {
+        if !matches!(self.params, SchemeParams::Sr(_)) {
+            self.params = SchemeParams::Sr(SrParams::default());
+        }
+        match &mut self.params {
+            SchemeParams::Sr(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    fn start_gap_params_mut(&mut self) -> &mut StartGapParams {
+        if !matches!(self.params, SchemeParams::StartGap(_)) {
+            self.params = SchemeParams::StartGap(StartGapParams::default());
+        }
+        match &mut self.params {
+            SchemeParams::StartGap(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Checks that the params variant matches the kind and every
+    /// override is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemeError::InvalidParams`] on a mismatched variant
+    /// or an out-of-range value (zero intervals, mostly).
+    pub fn validate(&self) -> Result<(), SchemeError> {
+        let invalid = |reason: String| SchemeError::InvalidParams {
+            kind: self.kind,
+            reason,
+        };
+        match (self.kind, &self.params) {
+            (_, SchemeParams::Default) => Ok(()),
+            (SchemeKind::TwlSwp | SchemeKind::TwlAp, SchemeParams::Twl(p)) => {
+                if p.toss_up_interval == Some(0) {
+                    return Err(invalid("toss-up interval must be positive".into()));
+                }
+                if p.inter_pair_swap_interval == Some(0) {
+                    return Err(invalid("inter-pair swap interval must be positive".into()));
+                }
+                Ok(())
+            }
+            (SchemeKind::Bwl, SchemeParams::Bwl(p)) => {
+                if p.epoch_writes == Some(0) {
+                    return Err(invalid("epoch writes must be positive".into()));
+                }
+                Ok(())
+            }
+            (SchemeKind::Sr, SchemeParams::Sr(p)) => {
+                if p.inner_interval == Some(0) || p.outer_interval == Some(0) {
+                    return Err(invalid("refresh intervals must be positive".into()));
+                }
+                Ok(())
+            }
+            (SchemeKind::StartGap, SchemeParams::StartGap(p)) => {
+                if p.gap_interval == Some(0) {
+                    return Err(invalid("gap interval must be positive".into()));
+                }
+                Ok(())
+            }
+            (kind, params) => Err(invalid(format!(
+                "{params:?} overrides do not apply to {kind}"
+            ))),
+        }
+    }
+
+    /// Encodes the spec: a bare label string for default-params specs
+    /// (byte-identical to the pre-`SchemeSpec` wire format), a
+    /// `{"kind", "params"}` object otherwise.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        if self.is_default() {
+            return str(self.kind.label());
+        }
+        let mut params = BTreeMap::new();
+        let mut put = |k: &str, v: Json| {
+            params.insert(k.to_owned(), v);
+        };
+        match &self.params {
+            SchemeParams::Default => {}
+            SchemeParams::Twl(p) => {
+                if let Some(v) = p.toss_up_interval {
+                    put("toss_up_interval", int(v));
+                }
+                if let Some(v) = p.inter_pair_swap_interval {
+                    put("inter_pair_swap_interval", int(v));
+                }
+                if let Some(v) = p.pairing {
+                    put("pairing", str(&pairing_label(v)));
+                }
+                if let Some(v) = p.optimized_swap {
+                    put("optimized_swap", Json::Bool(v));
+                }
+                if let Some(v) = p.dynamic_endurance {
+                    put("dynamic_endurance", Json::Bool(v));
+                }
+            }
+            SchemeParams::Bwl(p) => {
+                if let Some(v) = p.epoch_writes {
+                    put("epoch_writes", int(v));
+                }
+                if let Some(v) = p.initial_hot_threshold {
+                    put("initial_hot_threshold", int(v));
+                }
+                if let Some(v) = p.band_repair {
+                    put("band_repair", Json::Bool(v));
+                }
+            }
+            SchemeParams::Sr(p) => {
+                if let Some(v) = p.inner_interval {
+                    put("inner_interval", int(v));
+                }
+                if let Some(v) = p.outer_interval {
+                    put("outer_interval", int(v));
+                }
+            }
+            SchemeParams::StartGap(p) => {
+                if let Some(v) = p.gap_interval {
+                    put("gap_interval", int(v));
+                }
+            }
+        }
+        Json::obj([
+            ("kind", str(self.kind.label())),
+            ("params", Json::Obj(params)),
+        ])
+    }
+
+    /// Decodes a spec: either a bare label string (possibly with the
+    /// `[k=v,...]` suffix) or a `{"kind", "params"}` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unknown kind, an unknown parameter key,
+    /// or an out-of-range value.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Str(s) => s.parse(),
+            Json::Obj(_) => {
+                let kind: SchemeKind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("scheme spec object is missing string `kind`")?
+                    .parse()?;
+                let mut spec = Self::new(kind);
+                if let Some(params) = v.get("params") {
+                    let Json::Obj(map) = params else {
+                        return Err("scheme spec `params` is not an object".to_owned());
+                    };
+                    for (key, value) in map {
+                        let rendered = match value {
+                            Json::Bool(b) => u8::from(*b).to_string(),
+                            Json::Int(_) => value
+                                .as_u64()
+                                .ok_or_else(|| format!("parameter `{key}` is out of range"))?
+                                .to_string(),
+                            Json::Str(s) => s.clone(),
+                            other => {
+                                return Err(format!(
+                                    "parameter `{key}` has unsupported value {other:?}"
+                                ))
+                            }
+                        };
+                        spec.set_param(key, &rendered)?;
+                    }
+                }
+                spec.validate().map_err(|e| e.to_string())?;
+                Ok(spec.canonical())
+            }
+            other => Err(format!(
+                "scheme spec is neither string nor object: {other:?}"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for SchemeSpec {
+    type Err = String;
+
+    /// Parses a canonical label: `KIND` or `KIND[k=v,...]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (kind_str, params_str) = match s.find('[') {
+            Some(i) => {
+                let Some(inner) = s[i..].strip_prefix('[').and_then(|t| t.strip_suffix(']')) else {
+                    return Err(format!(
+                        "malformed scheme spec `{s}` (expected `KIND[k=v,...]`)"
+                    ));
+                };
+                (&s[..i], Some(inner))
+            }
+            None => (s, None),
+        };
+        let mut spec = Self::new(kind_str.parse::<SchemeKind>()?);
+        if let Some(params) = params_str {
+            if params.trim().is_empty() {
+                return Err(format!("empty parameter list in `{s}`"));
+            }
+            for kv in params.split(',') {
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("parameter `{kv}` is not `key=value`"))?;
+                spec.set_param(key.trim(), value.trim())?;
+            }
+        }
+        spec.validate().map_err(|e| e.to_string())?;
+        Ok(spec.canonical())
+    }
+}
+
+/// Parses a comma-separated list of scheme spec labels, where commas
+/// inside `[...]` parameter blocks do not split
+/// (`"TWL_swp[ti=8,ip=32],BWL"` is two specs).
+///
+/// # Errors
+///
+/// Returns the first label's parse error.
+pub fn parse_spec_list(s: &str) -> Result<Vec<SchemeSpec>, String> {
+    let mut specs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                if !s[start..i].trim().is_empty() {
+                    specs.push(s[start..i].parse()?);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !s[start..].trim().is_empty() {
+        specs.push(s[start..].parse()?);
+    }
+    if specs.is_empty() {
+        return Err("empty scheme list".to_owned());
+    }
+    Ok(specs)
+}
+
+fn pairing_label(p: PairingStrategy) -> String {
+    match p {
+        PairingStrategy::StrongWeak => "swp".to_owned(),
+        PairingStrategy::Adjacent => "ap".to_owned(),
+        PairingStrategy::Random { seed } => format!("rnd:{seed}"),
+        // `PairingStrategy` is non-exhaustive; future strategies must
+        // add a label here before specs can carry them.
+        _ => unreachable!("unlabeled pairing strategy"),
+    }
+}
+
+fn parse_pairing(value: &str) -> Result<PairingStrategy, String> {
+    match value {
+        "swp" => Ok(PairingStrategy::StrongWeak),
+        "ap" => Ok(PairingStrategy::Adjacent),
+        _ => match value.strip_prefix("rnd:") {
+            Some(seed) => Ok(PairingStrategy::Random {
+                seed: parse_u64("pair seed", seed)?,
+            }),
+            None => Err(format!(
+                "unknown pairing `{value}` (expected swp, ap, or rnd:SEED)"
+            )),
+        },
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("`{key}` wants an unsigned integer, got `{value}`"))
+}
+
+fn parse_bool01(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "0" | "false" => Ok(false),
+        "1" | "true" => Ok(true),
+        _ => Err(format!("`{key}` wants 0/1, got `{value}`")),
+    }
+}
+
+fn unknown_key(kind: SchemeKind, key: &str) -> String {
+    format!("unknown parameter `{key}` for {kind}")
+}
+
+/// Renames a scheme without touching its behavior: every method
+/// delegates (including `write_batch` and `read`, so fast paths and
+/// latency accounting survive) while `name()` reports the spec label.
+/// Built only for non-default specs — default specs keep the engine's
+/// own name and its exact pre-`SchemeSpec` code path.
+struct Relabeled {
+    name: String,
+    inner: Box<dyn WearLeveler>,
+}
+
+impl WearLeveler for Relabeled {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn translate(&self, la: LogicalPageAddr) -> PhysicalPageAddr {
+        self.inner.translate(la)
+    }
+
+    fn write(
+        &mut self,
+        la: LogicalPageAddr,
+        device: &mut PcmDevice,
+    ) -> Result<WriteOutcome, PcmError> {
+        self.inner.write(la, device)
+    }
+
+    fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
+        self.inner.write_batch(la, n, device)
+    }
+
+    fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
+        self.inner.read(la, device)
+    }
+
+    fn stats(&self) -> &WlStats {
+        self.inner.stats()
+    }
+}
+
 /// Builds a scheme with its paper-default configuration for `device`.
 ///
 /// # Errors
 ///
-/// Returns an error if the device geometry is incompatible (e.g. a
-/// non-power-of-two page count for Security Refresh).
+/// Returns a [`SchemeError`] if the device geometry is incompatible
+/// (e.g. a non-power-of-two page count for Security Refresh).
 pub fn build_scheme(
     kind: SchemeKind,
     device: &PcmDevice,
-) -> Result<Box<dyn WearLeveler>, Box<dyn Error + Send + Sync>> {
-    build_scheme_for_region(kind, device, device.page_count())
+) -> Result<Box<dyn WearLeveler>, SchemeError> {
+    build_scheme_spec(&SchemeSpec::new(kind), device)
 }
 
-/// Builds a scheme over only the first `pages` slots of `device`.
+/// Builds a scheme with its paper-default configuration over only the
+/// first `pages` slots of `device`. See
+/// [`build_scheme_spec_for_region`].
+///
+/// # Errors
+///
+/// Returns a [`SchemeError`] if the region is empty or oversized, or
+/// the geometry is incompatible with the scheme.
+pub fn build_scheme_for_region(
+    kind: SchemeKind,
+    device: &PcmDevice,
+    pages: u64,
+) -> Result<Box<dyn WearLeveler>, SchemeError> {
+    build_scheme_spec_for_region(&SchemeSpec::new(kind), device, pages)
+}
+
+/// Builds the scheme a spec describes for the whole of `device`.
+///
+/// # Errors
+///
+/// Returns a [`SchemeError`] if the spec is ill-formed or the device
+/// geometry is incompatible.
+pub fn build_scheme_spec(
+    spec: &SchemeSpec,
+    device: &PcmDevice,
+) -> Result<Box<dyn WearLeveler>, SchemeError> {
+    build_scheme_spec_for_region(spec, device, device.page_count())
+}
+
+/// Builds the scheme a spec describes over only the first `pages` slots
+/// of `device`.
 ///
 /// This is how schemes run on a spare-augmented device
 /// (`twl_faults::provision`): the scheme addresses the data region and
@@ -80,41 +838,112 @@ pub fn build_scheme(
 /// variants) get the truncated endurance map, which is identical to
 /// what a `pages`-page device with the same seed would draw.
 ///
+/// Non-default specs come back wrapped so `name()` reports the spec's
+/// label — reports and telemetry scopes then carry the full
+/// configuration, not just the algorithm name.
+///
 /// # Errors
 ///
-/// Returns an error if the region geometry is incompatible with the
-/// scheme (e.g. a non-power-of-two page count for Security Refresh).
-///
-/// # Panics
-///
-/// Panics if `pages` is zero or exceeds the device's page count.
-pub fn build_scheme_for_region(
-    kind: SchemeKind,
+/// Returns [`SchemeError::InvalidRegion`] if `pages` is zero or exceeds
+/// the device's page count, [`SchemeError::InvalidParams`] on a bad
+/// override, and [`SchemeError::Geometry`] if the scheme rejects the
+/// region (e.g. a non-power-of-two page count for Security Refresh).
+pub fn build_scheme_spec_for_region(
+    spec: &SchemeSpec,
     device: &PcmDevice,
     pages: u64,
-) -> Result<Box<dyn WearLeveler>, Box<dyn Error + Send + Sync>> {
-    assert!(
-        pages > 0 && pages <= device.page_count(),
-        "scheme region of {pages} pages outside a {}-page device",
-        device.page_count()
-    );
-    Ok(match kind {
-        SchemeKind::Nowl => Box::new(Nowl::new(pages)),
-        SchemeKind::Sr => Box::new(SecurityRefresh::new(
-            &SrConfig::for_scaled_device(pages, device.config().mean_endurance)?,
+) -> Result<Box<dyn WearLeveler>, SchemeError> {
+    spec.validate()?;
+    if pages == 0 || pages > device.page_count() {
+        return Err(SchemeError::InvalidRegion {
             pages,
-        )?),
-        SchemeKind::Bwl => Box::new(BloomFilterWl::new(&BwlConfig::for_pages(pages), pages)),
+            device_pages: device.page_count(),
+        });
+    }
+    let geometry = |e: &dyn fmt::Display| SchemeError::Geometry {
+        kind: spec.kind,
+        reason: e.to_string(),
+    };
+    let built: Box<dyn WearLeveler> = match spec.kind {
+        SchemeKind::Nowl => Box::new(Nowl::new(pages)),
+        SchemeKind::Sr => {
+            let mut cfg = SrConfig::for_scaled_device(pages, device.config().mean_endurance)
+                .map_err(|e| geometry(&e))?;
+            if let SchemeParams::Sr(p) = &spec.params {
+                if let Some(v) = p.inner_interval {
+                    cfg.inner_interval = v;
+                }
+                if let Some(v) = p.outer_interval {
+                    cfg.outer_interval = v;
+                }
+            }
+            Box::new(SecurityRefresh::new(&cfg, pages).map_err(|e| geometry(&e))?)
+        }
+        SchemeKind::Bwl => {
+            let mut cfg = BwlConfig::for_pages(pages);
+            if let SchemeParams::Bwl(p) = &spec.params {
+                if let Some(v) = p.epoch_writes {
+                    cfg.epoch_writes = v;
+                }
+                if let Some(v) = p.initial_hot_threshold {
+                    cfg.initial_hot_threshold = v;
+                }
+                if let Some(v) = p.band_repair {
+                    cfg.band_repair = v;
+                }
+            }
+            Box::new(BloomFilterWl::new(&cfg, pages))
+        }
         SchemeKind::Wrl => Box::new(WearRateLeveling::new(&WrlConfig::for_pages(pages), pages)),
-        SchemeKind::StartGap => Box::new(StartGap::new(&StartGapConfig::default(), pages)),
-        SchemeKind::TwlSwp => Box::new(TossUpWearLeveling::new(
-            &TwlConfig::dac17(),
-            &device.endurance_map().truncated(pages as usize),
-        )),
-        SchemeKind::TwlAp => Box::new(TossUpWearLeveling::new(
-            &TwlConfig::dac17_adjacent(),
-            &device.endurance_map().truncated(pages as usize),
-        )),
+        SchemeKind::StartGap => {
+            let mut cfg = StartGapConfig::default();
+            if let SchemeParams::StartGap(p) = &spec.params {
+                if let Some(v) = p.gap_interval {
+                    cfg.gap_interval = v;
+                }
+            }
+            Box::new(StartGap::new(&cfg, pages))
+        }
+        SchemeKind::TwlSwp | SchemeKind::TwlAp => {
+            let mut builder = TwlConfig::builder();
+            if spec.kind == SchemeKind::TwlAp {
+                builder.pairing(PairingStrategy::Adjacent);
+            }
+            if let SchemeParams::Twl(p) = &spec.params {
+                if let Some(v) = p.toss_up_interval {
+                    builder.toss_up_interval(v);
+                }
+                if let Some(v) = p.inter_pair_swap_interval {
+                    builder.inter_pair_swap_interval(v);
+                }
+                if let Some(v) = p.pairing {
+                    builder.pairing(v);
+                }
+                if let Some(v) = p.optimized_swap {
+                    builder.optimized_swap(v);
+                }
+                if let Some(v) = p.dynamic_endurance {
+                    builder.dynamic_endurance(v);
+                }
+            }
+            let cfg = builder.build().map_err(|e| SchemeError::InvalidParams {
+                kind: spec.kind,
+                reason: e.to_string(),
+            })?;
+            Box::new(TossUpWearLeveling::new(
+                &cfg,
+                &device.endurance_map().truncated(pages as usize),
+            ))
+        }
+    };
+    let label = spec.label();
+    Ok(if built.name() == label {
+        built
+    } else {
+        Box::new(Relabeled {
+            name: label,
+            inner: built,
+        })
     })
 }
 
@@ -123,23 +952,19 @@ mod tests {
     use super::*;
     use twl_pcm::PcmConfig;
 
-    #[test]
-    fn every_kind_builds_on_default_device() {
+    fn device(pages: u64) -> PcmDevice {
         let pcm = PcmConfig::builder()
-            .pages(256)
+            .pages(pages)
             .mean_endurance(10_000)
             .build()
             .unwrap();
-        let device = PcmDevice::new(&pcm);
-        for kind in [
-            SchemeKind::Nowl,
-            SchemeKind::Sr,
-            SchemeKind::Bwl,
-            SchemeKind::Wrl,
-            SchemeKind::StartGap,
-            SchemeKind::TwlSwp,
-            SchemeKind::TwlAp,
-        ] {
+        PcmDevice::new(&pcm)
+    }
+
+    #[test]
+    fn every_kind_builds_on_default_device() {
+        let device = device(256);
+        for kind in SchemeKind::ALL {
             let scheme = build_scheme(kind, &device).unwrap();
             assert_eq!(scheme.name(), kind.label(), "kind {kind}");
         }
@@ -153,7 +978,26 @@ mod tests {
             .build()
             .unwrap();
         let device = PcmDevice::new(&pcm);
-        assert!(build_scheme(SchemeKind::Sr, &device).is_err());
+        assert!(matches!(
+            build_scheme(SchemeKind::Sr, &device),
+            Err(SchemeError::Geometry { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_regions_are_typed_errors_not_panics() {
+        let device = device(256);
+        assert_eq!(
+            build_scheme_for_region(SchemeKind::Nowl, &device, 0).err(),
+            Some(SchemeError::InvalidRegion {
+                pages: 0,
+                device_pages: 256
+            }),
+        );
+        assert!(matches!(
+            build_scheme_for_region(SchemeKind::Nowl, &device, 257),
+            Err(SchemeError::InvalidRegion { .. })
+        ));
     }
 
     #[test]
@@ -181,5 +1025,108 @@ mod tests {
     fn figure_sets_are_consistent() {
         assert_eq!(SchemeKind::FIG6.len(), 5);
         assert_eq!(SchemeKind::FIG8.len(), 4);
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(kind.label().parse::<SchemeKind>(), Ok(kind));
+            assert_eq!(kind.label().to_lowercase().parse::<SchemeKind>(), Ok(kind));
+        }
+        assert_eq!("TWL".parse::<SchemeKind>(), Ok(SchemeKind::TwlSwp));
+        assert!("bogus".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn spec_labels_round_trip() {
+        for label in [
+            "TWL_swp[ti=8]",
+            "TWL_swp[ti=8,ip=off,pair=rnd:7,swap=3,dyn=1]",
+            "TWL_ap[ip=512]",
+            "BWL[epoch=1024,thr=4,repair=0]",
+            "SR[inner=16,outer=64]",
+            "StartGap[gap=50]",
+            "NOWL",
+        ] {
+            let spec: SchemeSpec = label.parse().unwrap();
+            assert_eq!(spec.label(), label);
+            assert_eq!(spec.label().parse::<SchemeSpec>(), Ok(spec));
+            let decoded = SchemeSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(decoded, spec, "json round trip for {label}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("TWL_swp[ti=0]".parse::<SchemeSpec>().is_err());
+        assert!("TWL_swp[]".parse::<SchemeSpec>().is_err());
+        assert!("TWL_swp[ti]".parse::<SchemeSpec>().is_err());
+        assert!("NOWL[ti=8]".parse::<SchemeSpec>().is_err());
+        assert!("SR[gap=5]".parse::<SchemeSpec>().is_err());
+        assert!("TWL_swp[pair=xyz]".parse::<SchemeSpec>().is_err());
+        assert!("TWL_swp[ti=8".parse::<SchemeSpec>().is_err());
+        let mismatched = SchemeSpec {
+            kind: SchemeKind::Nowl,
+            params: SchemeParams::Twl(TwlParams {
+                toss_up_interval: Some(8),
+                ..TwlParams::default()
+            }),
+        };
+        assert!(mismatched.validate().is_err());
+    }
+
+    #[test]
+    fn spec_lists_split_outside_brackets() {
+        let specs = parse_spec_list("TWL_swp[ti=8,ip=32], BWL ,NOWL").unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].label(), "TWL_swp[ti=8,ip=32]");
+        assert_eq!(specs[1].kind, SchemeKind::Bwl);
+        assert!(parse_spec_list("  ").is_err());
+    }
+
+    #[test]
+    fn default_specs_build_unwrapped_engines() {
+        let device = device(256);
+        for kind in SchemeKind::ALL {
+            let spec = SchemeSpec::new(kind);
+            let scheme = build_scheme_spec(&spec, &device).unwrap();
+            assert_eq!(scheme.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn non_default_specs_carry_their_label() {
+        let device = device(256);
+        let spec: SchemeSpec = "TWL_swp[ti=8,pair=rnd:7]".parse().unwrap();
+        let scheme = build_scheme_spec(&spec, &device).unwrap();
+        assert_eq!(scheme.name(), "TWL_swp[ti=8,pair=rnd:7]");
+        let sg: SchemeSpec = "StartGap[gap=50]".parse().unwrap();
+        assert_eq!(
+            build_scheme_spec(&sg, &device).unwrap().name(),
+            "StartGap[gap=50]"
+        );
+    }
+
+    #[test]
+    fn explicit_defaults_behave_like_defaults() {
+        // An override equal to the paper default changes the label but
+        // not the engine's behavior.
+        let device = device(64);
+        let spec: SchemeSpec = "TWL_swp[ti=32]".parse().unwrap();
+        let mut a = build_scheme_spec(&spec, &device).unwrap();
+        let mut b = build_scheme(SchemeKind::TwlSwp, &device).unwrap();
+        let mut da = PcmDevice::new(device.config());
+        let mut db = PcmDevice::new(device.config());
+        for i in 0..5_000u64 {
+            let la = LogicalPageAddr::new(i % 64);
+            let ra = a.write(la, &mut da);
+            let rb = b.write(la, &mut db);
+            assert_eq!(ra.is_ok(), rb.is_ok());
+        }
+        assert_eq!(a.stats().device_writes, b.stats().device_writes);
+        assert_eq!(
+            a.translate(LogicalPageAddr::new(7)),
+            b.translate(LogicalPageAddr::new(7))
+        );
     }
 }

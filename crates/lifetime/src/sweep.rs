@@ -16,18 +16,20 @@
 
 use crate::pool::run_cells;
 use crate::{
-    build_scheme, build_scheme_for_region, run_attack, run_degradation_attack, run_workload,
-    Calibration, DegradationReport, LifetimeReport, SchemeKind, SimLimits,
+    build_scheme_spec, build_scheme_spec_for_region, run_attack, run_degradation_attack,
+    run_workload, Calibration, DegradationReport, LifetimeReport, SchemeSpec, SimLimits,
 };
 use twl_attacks::{Attack, AttackKind};
 use twl_faults::{provision, FaultConfig};
 use twl_pcm::{PcmConfig, PcmDevice};
 use twl_workloads::ParsecBenchmark;
 
-/// Runs one cell of an [`attack_matrix`]: `scheme` under `attack` on a
-/// fresh device drawn from `pcm`, with the attack-rate calibration.
+/// Runs one cell of an [`attack_matrix`]: the scheme `spec` describes
+/// under `attack` on a fresh device drawn from `pcm`, with the
+/// attack-rate calibration.
 ///
-/// Deterministic: the report depends only on the arguments.
+/// Deterministic: the report depends only on the arguments. Accepts a
+/// bare [`crate::SchemeKind`] (paper defaults) or a full [`SchemeSpec`].
 ///
 /// # Panics
 ///
@@ -35,14 +37,15 @@ use twl_workloads::ParsecBenchmark;
 #[must_use]
 pub fn run_attack_cell(
     pcm: &PcmConfig,
-    kind: SchemeKind,
+    spec: impl Into<SchemeSpec>,
     attack_kind: AttackKind,
     limits: &SimLimits,
 ) -> LifetimeReport {
+    let spec = spec.into();
     let calibration = Calibration::attack_8gbps();
     let mut device = PcmDevice::new(pcm);
-    let mut scheme = build_scheme(kind, &device)
-        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut scheme = build_scheme_spec(&spec, &device)
+        .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
     run_attack(
         scheme.as_mut(),
@@ -53,10 +56,12 @@ pub fn run_attack_cell(
     )
 }
 
-/// Runs one cell of a [`workload_matrix`]: `scheme` under `bench`'s
-/// calibrated synthetic workload on a fresh device drawn from `pcm`.
+/// Runs one cell of a [`workload_matrix`]: the scheme `spec` describes
+/// under `bench`'s calibrated synthetic workload on a fresh device
+/// drawn from `pcm`.
 ///
-/// Deterministic: the report depends only on the arguments.
+/// Deterministic: the report depends only on the arguments. Accepts a
+/// bare [`crate::SchemeKind`] (paper defaults) or a full [`SchemeSpec`].
 ///
 /// # Panics
 ///
@@ -64,14 +69,15 @@ pub fn run_attack_cell(
 #[must_use]
 pub fn run_workload_cell(
     pcm: &PcmConfig,
-    kind: SchemeKind,
+    spec: impl Into<SchemeSpec>,
     bench: ParsecBenchmark,
     limits: &SimLimits,
 ) -> LifetimeReport {
+    let spec = spec.into();
     let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
     let mut device = PcmDevice::new(pcm);
-    let mut scheme = build_scheme(kind, &device)
-        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut scheme = build_scheme_spec(&spec, &device)
+        .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut workload = bench.workload(pcm.pages, pcm.seed);
     run_workload(
         scheme.as_mut(),
@@ -97,15 +103,16 @@ pub fn run_workload_cell(
 pub fn run_degradation_cell(
     pcm: &PcmConfig,
     fault_cfg: &FaultConfig,
-    kind: SchemeKind,
+    spec: impl Into<SchemeSpec>,
     attack_kind: AttackKind,
     limits: &SimLimits,
 ) -> DegradationReport {
+    let spec = spec.into();
     let calibration = Calibration::attack_8gbps();
     let mut domain =
         provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
-    let mut scheme = build_scheme_for_region(kind, &domain.device, domain.data_pages)
-        .unwrap_or_else(|e| panic!("cannot build {kind} for this device: {e}"));
+    let mut scheme = build_scheme_spec_for_region(&spec, &domain.device, domain.data_pages)
+        .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
     run_degradation_attack(
         scheme.as_mut(),
@@ -119,6 +126,9 @@ pub fn run_degradation_cell(
 /// Runs every scheme in `schemes` against every attack in `attacks` on
 /// a fresh device drawn from `pcm`, returning reports in
 /// `schemes`-major order (Fig. 6's grid).
+///
+/// `schemes` may be bare [`crate::SchemeKind`]s (paper defaults) or
+/// full [`SchemeSpec`]s — parameter studies are just another matrix.
 ///
 /// # Panics
 ///
@@ -146,18 +156,24 @@ pub fn run_degradation_cell(
 /// # }
 /// ```
 #[must_use]
-pub fn attack_matrix(
+pub fn attack_matrix<S>(
     pcm: &PcmConfig,
-    schemes: &[SchemeKind],
+    schemes: &[S],
     attacks: &[AttackKind],
     limits: &SimLimits,
-) -> Vec<LifetimeReport> {
-    let cells: Vec<(SchemeKind, AttackKind)> = schemes
+) -> Vec<LifetimeReport>
+where
+    S: Clone + Into<SchemeSpec>,
+{
+    let cells: Vec<(SchemeSpec, AttackKind)> = schemes
         .iter()
-        .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
+        .flat_map(|s| {
+            let spec: SchemeSpec = s.clone().into();
+            attacks.iter().map(move |&a| (spec, a))
+        })
         .collect();
-    run_cells(&cells, |&(kind, attack_kind)| {
-        run_attack_cell(pcm, kind, attack_kind, limits)
+    run_cells(&cells, |&(spec, attack_kind)| {
+        run_attack_cell(pcm, spec, attack_kind, limits)
     })
 }
 
@@ -171,19 +187,25 @@ pub fn attack_matrix(
 /// Panics if the fault config is invalid or a scheme cannot be built
 /// for the data-region geometry.
 #[must_use]
-pub fn degradation_matrix(
+pub fn degradation_matrix<S>(
     pcm: &PcmConfig,
     fault_cfg: &FaultConfig,
-    schemes: &[SchemeKind],
+    schemes: &[S],
     attacks: &[AttackKind],
     limits: &SimLimits,
-) -> Vec<DegradationReport> {
-    let cells: Vec<(SchemeKind, AttackKind)> = schemes
+) -> Vec<DegradationReport>
+where
+    S: Clone + Into<SchemeSpec>,
+{
+    let cells: Vec<(SchemeSpec, AttackKind)> = schemes
         .iter()
-        .flat_map(|&s| attacks.iter().map(move |&a| (s, a)))
+        .flat_map(|s| {
+            let spec: SchemeSpec = s.clone().into();
+            attacks.iter().map(move |&a| (spec, a))
+        })
         .collect();
-    run_cells(&cells, |&(kind, attack_kind)| {
-        run_degradation_cell(pcm, fault_cfg, kind, attack_kind, limits)
+    run_cells(&cells, |&(spec, attack_kind)| {
+        run_degradation_cell(pcm, fault_cfg, spec, attack_kind, limits)
     })
 }
 
@@ -195,18 +217,24 @@ pub fn degradation_matrix(
 ///
 /// Panics if a scheme cannot be built for the device geometry.
 #[must_use]
-pub fn workload_matrix(
+pub fn workload_matrix<S>(
     pcm: &PcmConfig,
-    schemes: &[SchemeKind],
+    schemes: &[S],
     benchmarks: &[ParsecBenchmark],
     limits: &SimLimits,
-) -> Vec<LifetimeReport> {
-    let cells: Vec<(SchemeKind, ParsecBenchmark)> = schemes
+) -> Vec<LifetimeReport>
+where
+    S: Clone + Into<SchemeSpec>,
+{
+    let cells: Vec<(SchemeSpec, ParsecBenchmark)> = schemes
         .iter()
-        .flat_map(|&s| benchmarks.iter().map(move |&b| (s, b)))
+        .flat_map(|s| {
+            let spec: SchemeSpec = s.clone().into();
+            benchmarks.iter().map(move |&b| (spec, b))
+        })
         .collect();
-    run_cells(&cells, |&(kind, bench)| {
-        run_workload_cell(pcm, kind, bench, limits)
+    run_cells(&cells, |&(spec, bench)| {
+        run_workload_cell(pcm, spec, bench, limits)
     })
 }
 
@@ -224,6 +252,7 @@ pub fn gmean_years(reports: &[LifetimeReport]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SchemeKind;
 
     fn pcm() -> PcmConfig {
         PcmConfig::builder()

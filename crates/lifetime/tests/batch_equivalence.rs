@@ -5,8 +5,8 @@
 
 use twl_attacks::{Attack, AttackKind};
 use twl_lifetime::{
-    build_scheme, run_attack, run_attack_unbatched, run_workload, run_workload_unbatched,
-    Calibration, LifetimeReport, SchemeKind, SimLimits,
+    build_scheme_spec, run_attack, run_attack_unbatched, run_workload, run_workload_unbatched,
+    Calibration, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
 };
 use twl_pcm::{PcmConfig, PcmDevice};
 use twl_workloads::ParsecBenchmark;
@@ -33,7 +33,7 @@ const ATTACKS: [AttackKind; 4] = [
 ];
 
 fn attack_run(
-    kind: SchemeKind,
+    spec: impl Into<SchemeSpec>,
     attack_kind: AttackKind,
     seed: u64,
     batched: bool,
@@ -45,7 +45,7 @@ fn attack_run(
         .build()
         .expect("valid config");
     let mut device = PcmDevice::new(&pcm);
-    let mut scheme = build_scheme(kind, &device).expect("scheme builds");
+    let mut scheme = build_scheme_spec(&spec.into(), &device).expect("scheme builds");
     let mut attack = Attack::new(attack_kind, scheme.page_count(), seed);
     let limits = SimLimits::default();
     let calibration = Calibration::attack_8gbps();
@@ -87,6 +87,40 @@ fn batched_attacks_are_bit_identical_to_per_write_runs() {
 }
 
 #[test]
+fn batched_attacks_stay_bit_identical_off_the_default_config() {
+    // Non-default specs must hold the same equivalence: the fast-path
+    // boundaries (toss-up interval, inter-pair interval, swap mode)
+    // move with the overrides, and the relabeling wrapper must not
+    // perturb them.
+    const SPECS: [&str; 5] = [
+        "TWL_swp[ti=8]",
+        "TWL_swp[pair=rnd:11]",
+        "TWL_swp[swap=3]",
+        "BWL[epoch=600,repair=0]",
+        "StartGap[gap=37]",
+    ];
+    for label in SPECS {
+        let spec: SchemeSpec = label.parse().expect("spec label parses");
+        for attack_kind in ATTACKS {
+            for seed in [1u64, 2] {
+                let (batched, wear_batched) = attack_run(spec, attack_kind, seed, true);
+                let (scalar, wear_scalar) = attack_run(spec, attack_kind, seed, false);
+                assert_eq!(
+                    batched.scheme,
+                    spec.label(),
+                    "report carries the spec label"
+                );
+                assert_eq!(batched, scalar, "{label} / {attack_kind} / seed {seed}");
+                assert_eq!(
+                    wear_batched, wear_scalar,
+                    "wear map: {label} / {attack_kind} / seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn batched_workload_runs_are_bit_identical_too() {
     // Workloads always declare runs of 1; the batched driver must still
     // reproduce the reference loop exactly through write_batch.
@@ -101,7 +135,8 @@ fn batched_workload_runs_are_bit_identical_too() {
                 .build()
                 .expect("valid config");
             let mut device = PcmDevice::new(&pcm);
-            let mut scheme = build_scheme(kind, &device).expect("scheme builds");
+            let mut scheme =
+                build_scheme_spec(&SchemeSpec::new(kind), &device).expect("scheme builds");
             let mut workload = bench.workload(scheme.page_count(), 5);
             let limits = SimLimits::default();
             let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());

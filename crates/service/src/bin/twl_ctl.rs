@@ -15,6 +15,15 @@
 //! `--benchmarks A,B`, `--max-writes N`, `--retries N` (submit retries
 //! under backpressure), or `--spec FILE` to submit a raw JSON spec.
 //!
+//! `--schemes` takes full spec labels (`TWL_swp[ti=8,pair=rnd:7],BWL`),
+//! and a repeatable `--scheme-param k=v` applies one override to every
+//! scheme in the list — so a parameter study is one flag away from the
+//! default matrix:
+//!
+//! ```text
+//! twl-ctl submit --schemes "TWL_swp[ti=8],TWL_swp[ti=64]" --attacks scan --wait
+//! ```
+//!
 //! The default address is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
 //! Progress events go to stderr; results go to stdout — `--format
 //! json` emits the result document verbatim for scripting, the default
@@ -22,12 +31,14 @@
 
 use std::process::ExitCode;
 
-use twl_service::job::{parse_attack, parse_benchmark, parse_scheme, JobKind, JobReports, JobSpec};
+use twl_service::job::{parse_attack, parse_benchmark, JobKind, JobReports, JobSpec};
 use twl_service::wire::{JobEvent, JobSnapshot};
 use twl_service::{decode_result, Client, SubmitOutcome};
 use twl_telemetry::json::{int, str, Json};
 
-use twl_lifetime::{DegradationReport, LifetimeReport, SchemeKind, SimLimits};
+use twl_lifetime::{
+    parse_spec_list, DegradationReport, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
+};
 use twl_pcm::PcmConfig;
 
 const USAGE: &str =
@@ -54,11 +65,12 @@ struct SpecFlags {
     endurance: u64,
     seed: u64,
     sigma: Option<f64>,
-    schemes: Vec<SchemeKind>,
+    schemes: Vec<SchemeSpec>,
     attacks: Vec<twl_attacks::AttackKind>,
     benchmarks: Vec<twl_workloads::ParsecBenchmark>,
     max_writes: Option<u64>,
     spec_file: Option<String>,
+    scheme_params: Vec<(String, String)>,
 }
 
 impl Default for SpecFlags {
@@ -69,23 +81,36 @@ impl Default for SpecFlags {
             endurance: 50_000,
             seed: 42,
             sigma: None,
-            schemes: SchemeKind::FIG6.to_vec(),
+            schemes: SchemeKind::FIG6.iter().map(|&k| k.into()).collect(),
             attacks: twl_attacks::AttackKind::ALL.to_vec(),
             benchmarks: twl_workloads::ParsecBenchmark::ALL.to_vec(),
             max_writes: None,
             spec_file: None,
+            scheme_params: Vec::new(),
         }
     }
 }
 
 impl SpecFlags {
-    fn build(self) -> Result<JobSpec, String> {
+    fn build(mut self) -> Result<JobSpec, String> {
         if let Some(path) = &self.spec_file {
+            if !self.scheme_params.is_empty() {
+                return Err("--scheme-param does not combine with --spec (put the overrides in the spec file)".into());
+            }
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read spec file {path}: {e}"))?;
             let spec = JobSpec::from_json(&Json::parse(&text)?)?;
             spec.validate()?;
             return Ok(spec);
+        }
+        for scheme in &mut self.schemes {
+            for (key, value) in &self.scheme_params {
+                scheme
+                    .set_param(key, value)
+                    .map_err(|e| format!("bad --scheme-param for {}: {e}", scheme.kind))?;
+            }
+            scheme.validate().map_err(|e| e.to_string())?;
+            *scheme = scheme.canonical();
         }
         let mut builder = PcmConfig::builder();
         builder
@@ -326,10 +351,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         );
                     }
                     "--schemes" => {
-                        flags.schemes = split_list(value("--schemes")?)
-                            .into_iter()
-                            .map(parse_scheme)
-                            .collect::<Result<_, _>>()?;
+                        flags.schemes = parse_spec_list(value("--schemes")?)?;
+                    }
+                    "--scheme-param" => {
+                        let kv = value("--scheme-param")?;
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| format!("--scheme-param `{kv}` is not key=value"))?;
+                        flags
+                            .scheme_params
+                            .push((k.trim().to_owned(), v.trim().to_owned()));
                     }
                     "--attacks" => {
                         flags.attacks = split_list(value("--attacks")?)

@@ -173,7 +173,7 @@ mod tests {
             kind: crate::job::JobKind::AttackMatrix,
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
-            schemes: vec![SchemeKind::Nowl],
+            schemes: vec![SchemeKind::Nowl.into()],
             attacks: vec![AttackKind::Repeat],
             benchmarks: vec![],
             fault: None,

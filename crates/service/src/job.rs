@@ -19,22 +19,11 @@ use twl_attacks::AttackKind;
 use twl_faults::{CorrectionPolicy, FaultConfig};
 use twl_lifetime::{
     run_attack_cell, run_degradation_cell, run_workload_cell, DegradationEnd, DegradationPoint,
-    DegradationReport, LifetimeReport, SchemeKind, SimLimits,
+    DegradationReport, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
 };
 use twl_pcm::{PcmConfig, PhysicalPageAddr};
 use twl_telemetry::json::{int, num, str, Json};
 use twl_workloads::ParsecBenchmark;
-
-/// Schemes a job spec may name, with their paper labels.
-const SCHEMES: [SchemeKind; 7] = [
-    SchemeKind::Nowl,
-    SchemeKind::Sr,
-    SchemeKind::Bwl,
-    SchemeKind::Wrl,
-    SchemeKind::StartGap,
-    SchemeKind::TwlSwp,
-    SchemeKind::TwlAp,
-];
 
 /// What a job computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,22 +66,14 @@ impl JobKind {
     }
 }
 
-/// Parses a scheme by its paper label (case-insensitive).
+/// Parses a scheme kind by its paper label (case-insensitive); a thin
+/// alias for [`SchemeKind`]'s `FromStr`.
 ///
 /// # Errors
 ///
 /// Returns a message listing the valid labels.
 pub fn parse_scheme(label: &str) -> Result<SchemeKind, String> {
-    SCHEMES
-        .into_iter()
-        .find(|s| s.label().eq_ignore_ascii_case(label))
-        .ok_or_else(|| {
-            let names: Vec<&str> = SCHEMES.iter().map(|s| s.label()).collect();
-            format!(
-                "unknown scheme `{label}` (expected one of {})",
-                names.join(", ")
-            )
-        })
+    label.parse()
 }
 
 /// Parses an attack by its lowercase name.
@@ -148,8 +129,9 @@ pub struct JobSpec {
     pub pcm: PcmConfig,
     /// Per-cell safety limits.
     pub limits: SimLimits,
-    /// Schemes, in matrix-major order.
-    pub schemes: Vec<SchemeKind>,
+    /// Scheme configurations, in matrix-major order. Bare kinds are
+    /// default-params specs; parameter studies carry overrides.
+    pub schemes: Vec<SchemeSpec>,
     /// Attacks (attack/degradation matrices and lifetime runs).
     pub attacks: Vec<AttackKind>,
     /// Benchmarks (workload matrices).
@@ -168,6 +150,9 @@ impl JobSpec {
     pub fn validate(&self) -> Result<(), String> {
         if self.schemes.is_empty() {
             return Err("spec needs at least one scheme".into());
+        }
+        for scheme in &self.schemes {
+            scheme.validate().map_err(|e| e.to_string())?;
         }
         match self.kind {
             JobKind::AttackMatrix | JobKind::DegradationMatrix => {
@@ -221,12 +206,12 @@ impl JobSpec {
             JobKind::AttackMatrix | JobKind::DegradationMatrix | JobKind::LifetimeRun => {
                 let scheme = self.schemes[index / self.attacks.len()];
                 let attack = self.attacks[index % self.attacks.len()];
-                (scheme.label().to_owned(), attack_name(attack).to_owned())
+                (scheme.label(), attack_name(attack).to_owned())
             }
             JobKind::WorkloadMatrix => {
                 let scheme = self.schemes[index / self.benchmarks.len()];
                 let bench = self.benchmarks[index % self.benchmarks.len()];
-                (scheme.label().to_owned(), bench.name().to_owned())
+                (scheme.label(), bench.name().to_owned())
             }
         }
     }
@@ -288,7 +273,7 @@ impl JobSpec {
             ),
             (
                 "schemes",
-                Json::Arr(self.schemes.iter().map(|s| str(s.label())).collect()),
+                Json::Arr(self.schemes.iter().map(SchemeSpec::to_json).collect()),
             ),
             (
                 "attacks",
@@ -319,9 +304,12 @@ impl JobSpec {
             },
             None => SimLimits::default(),
         };
-        let schemes = str_list(v, "schemes")?
+        let schemes = v
+            .get("schemes")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array `schemes`")?
             .iter()
-            .map(|s| parse_scheme(s))
+            .map(SchemeSpec::from_json)
             .collect::<Result<Vec<_>, _>>()?;
         let attacks = str_list(v, "attacks")?
             .iter()
@@ -687,7 +675,7 @@ mod tests {
             kind: JobKind::AttackMatrix,
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
-            schemes: vec![SchemeKind::Nowl, SchemeKind::TwlSwp],
+            schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
             attacks: vec![AttackKind::Repeat, AttackKind::Scan],
             benchmarks: vec![],
             fault: None,
@@ -768,7 +756,7 @@ mod tests {
         let s = JobSpec {
             kind: JobKind::DegradationMatrix,
             pcm: PcmConfig::scaled(64, 500, 3),
-            schemes: vec![SchemeKind::Nowl],
+            schemes: vec![SchemeKind::Nowl.into()],
             attacks: vec![AttackKind::Repeat],
             fault: Some(FaultConfig {
                 cell_groups_per_page: 8,
@@ -796,7 +784,7 @@ mod tests {
     fn result_document_round_trips() {
         let s = JobSpec {
             pcm: PcmConfig::scaled(64, 500, 3),
-            schemes: vec![SchemeKind::Nowl],
+            schemes: vec![SchemeKind::Nowl.into()],
             attacks: vec![AttackKind::Repeat],
             ..spec()
         };

@@ -513,7 +513,7 @@ mod tests {
             kind: crate::job::JobKind::AttackMatrix,
             pcm: PcmConfig::scaled(64, 500, 3),
             limits: SimLimits::default(),
-            schemes: vec![SchemeKind::Nowl],
+            schemes: vec![SchemeKind::Nowl.into()],
             attacks: vec![AttackKind::Repeat],
             benchmarks: vec![],
             fault: None,

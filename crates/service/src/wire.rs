@@ -406,7 +406,7 @@ mod tests {
             kind: crate::job::JobKind::AttackMatrix,
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
-            schemes: vec![SchemeKind::TwlSwp],
+            schemes: vec![SchemeKind::TwlSwp.into()],
             attacks: vec![AttackKind::Repeat],
             benchmarks: vec![],
             fault: None,

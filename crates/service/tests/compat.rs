@@ -1,0 +1,208 @@
+//! Wire back-compat: job specs and checkpoints written by the PR-4-era
+//! daemon (bare scheme-kind labels, no params) must keep working after
+//! the [`SchemeSpec`] refactor — they parse as default-params specs,
+//! re-encode byte-identically, and their stored cell reports match what
+//! the refactored engine computes today. Parameterized specs must make
+//! the same trip (submit → checkpoint → kill → resume) losslessly.
+
+mod common;
+
+use std::time::Duration;
+
+use twl_attacks::AttackKind;
+use twl_lifetime::{run_attack_cell, SchemeKind, SchemeSpec, SimLimits};
+use twl_pcm::PcmConfig;
+use twl_service::job::{encode_result, JobKind};
+use twl_service::{
+    decode_result, Checkpoint, Client, JobReports, JobSpec, SubmitOutcome,
+    EXIT_AFTER_CHECKPOINTS_ENV,
+};
+use twl_telemetry::json::Json;
+
+/// A job-spec document exactly as the PR-4 daemon wrote it: schemes are
+/// bare label strings.
+const PR4_SPEC: &str = include_str!("fixtures/pr4_job_spec.json");
+
+/// A partial checkpoint (3 of 4 cells done, status `running`) written
+/// by the PR-4 daemon, with the cell reports it actually computed.
+const PR4_CHECKPOINT: &str = include_str!("fixtures/pr4_checkpoint.json");
+
+#[test]
+fn pr4_job_specs_still_parse_and_reencode_byte_identically() {
+    let spec = JobSpec::from_json(&Json::parse(PR4_SPEC.trim()).expect("fixture JSON"))
+        .expect("PR-4 spec decodes");
+    spec.validate().expect("PR-4 spec is still valid");
+
+    // Bare kind labels become default-params specs.
+    let expect: Vec<SchemeSpec> = vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()];
+    assert_eq!(spec.schemes, expect);
+    assert!(spec.schemes.iter().all(SchemeSpec::is_default));
+
+    // Default specs re-encode as the same bare strings, so the whole
+    // document round-trips byte-for-byte: a PR-4 client reading a new
+    // daemon's output sees exactly the schema it was built against.
+    assert_eq!(spec.to_json().to_compact(), PR4_SPEC.trim());
+}
+
+#[test]
+fn pr4_checkpoint_cells_match_the_refactored_engine() {
+    let cp = Checkpoint::from_json(&Json::parse(PR4_CHECKPOINT.trim()).expect("fixture JSON"))
+        .expect("PR-4 checkpoint decodes");
+    assert_eq!(cp.job_id, 1);
+    assert_eq!(cp.status, "running");
+    assert_eq!(
+        cp.completed_cells.keys().copied().collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "fixture is a partial checkpoint"
+    );
+    assert!(cp.result.is_none());
+
+    // Every stored cell must be byte-identical to what the refactored
+    // engine computes for the same spec and index today.
+    for (&index, stored) in &cp.completed_cells {
+        let (fresh, _writes) = cp.spec.run_cell(usize::try_from(index).unwrap());
+        assert_eq!(
+            fresh.to_compact(),
+            stored.to_compact(),
+            "cell {index} drifted from the PR-4 run"
+        );
+    }
+
+    // Completing the missing cell assembles a result identical to an
+    // uninterrupted run of the whole matrix.
+    let mut cells: Vec<Json> = cp.completed_cells.values().cloned().collect();
+    cells.push(cp.spec.run_cell(3).0);
+    let JobReports::Lifetime(resumed) =
+        decode_result(&encode_result(cp.spec.kind, cells)).expect("decode assembled result")
+    else {
+        panic!("attack matrix returned non-lifetime reports");
+    };
+    let mut direct = Vec::new();
+    for scheme in &cp.spec.schemes {
+        for attack in &cp.spec.attacks {
+            direct.push(run_attack_cell(
+                &cp.spec.pcm,
+                *scheme,
+                *attack,
+                &cp.spec.limits,
+            ));
+        }
+    }
+    assert_eq!(resumed, direct);
+}
+
+#[test]
+fn pr4_checkpoint_resumes_through_the_daemon() {
+    let dir = common::temp_dir("compat");
+    std::fs::write(dir.join("job-1.json"), PR4_CHECKPOINT.trim()).expect("seed checkpoint");
+    let dir_str = dir.to_string_lossy().into_owned();
+
+    let mut daemon = common::Daemon::spawn(
+        &["--workers", "1", "--checkpoint-dir", dir_str.as_str()],
+        &[],
+    );
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let result = client.wait(1, |_| {}).expect("resumed PR-4 job result");
+    let JobReports::Lifetime(resumed) = decode_result(&result).expect("decode result") else {
+        panic!("attack matrix returned non-lifetime reports");
+    };
+
+    let cp = Checkpoint::from_json(&Json::parse(PR4_CHECKPOINT.trim()).unwrap()).unwrap();
+    let mut direct = Vec::new();
+    for scheme in &cp.spec.schemes {
+        for attack in &cp.spec.attacks {
+            direct.push(run_attack_cell(
+                &cp.spec.pcm,
+                *scheme,
+                *attack,
+                &cp.spec.limits,
+            ));
+        }
+    }
+    assert_eq!(resumed, direct, "resumed PR-4 job differs from a fresh run");
+
+    client.shutdown().expect("shutdown");
+    let status = daemon.wait_exit(Duration::from_secs(60));
+    assert!(status.success(), "daemon exited with {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parameterized_spec_survives_kill_and_resume_bit_identically() {
+    let dir = common::temp_dir("compat-param");
+    let dir_str = dir.to_string_lossy().into_owned();
+    let schemes: Vec<SchemeSpec> = ["TWL_swp[ti=8]", "TWL_swp[ti=64]"]
+        .iter()
+        .map(|l| l.parse().expect("parameterized label"))
+        .collect();
+    let spec = JobSpec {
+        kind: JobKind::AttackMatrix,
+        pcm: PcmConfig::scaled(128, 2_000, 8),
+        limits: SimLimits::default(),
+        schemes: schemes.clone(),
+        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        benchmarks: vec![],
+        fault: None,
+    };
+
+    let flags = [
+        "--workers",
+        "1",
+        "--checkpoint-dir",
+        dir_str.as_str(),
+        "--checkpoint-interval-writes",
+        "1",
+    ];
+    let mut daemon = common::Daemon::spawn(&flags, &[(EXIT_AFTER_CHECKPOINTS_ENV, "2".to_owned())]);
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let job_id = match client.submit(&spec) {
+        Ok(SubmitOutcome::Accepted(id)) => id,
+        Ok(SubmitOutcome::Rejected { reason, .. }) => panic!("submit rejected: {reason}"),
+        Err(_) => 1,
+    };
+    let status = daemon.wait_exit(Duration::from_secs(120));
+    assert_eq!(status.code(), Some(83), "expected the simulated crash exit");
+    drop(client);
+
+    // The partial checkpoint on disk carries the parameterized specs
+    // losslessly: overrides survive the spec → JSON → spec round trip.
+    let text = std::fs::read_to_string(dir.join(format!("job-{job_id}.json")))
+        .expect("checkpoint file after crash");
+    let partial = Checkpoint::from_json(&Json::parse(&text).expect("checkpoint JSON"))
+        .expect("decode checkpoint");
+    assert_eq!(partial.spec, spec);
+    assert_eq!(partial.spec.schemes, schemes);
+    assert!(partial.spec.schemes.iter().all(|s| !s.is_default()));
+
+    // Resume: the result is bit-identical to a direct run, and every
+    // report is stamped with the full parameterized label.
+    let mut daemon2 = common::Daemon::spawn(&flags, &[]);
+    let mut client2 = Client::connect(&daemon2.addr).expect("reconnect");
+    let result = client2.wait(job_id, |_| {}).expect("resumed job result");
+    let JobReports::Lifetime(resumed) = decode_result(&result).expect("decode result") else {
+        panic!("attack matrix returned non-lifetime reports");
+    };
+
+    let mut direct = Vec::new();
+    for scheme in &spec.schemes {
+        for attack in &spec.attacks {
+            direct.push(run_attack_cell(&spec.pcm, *scheme, *attack, &spec.limits));
+        }
+    }
+    assert_eq!(resumed, direct);
+    let labels: Vec<&str> = resumed.iter().map(|r| r.scheme.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "TWL_swp[ti=8]",
+            "TWL_swp[ti=8]",
+            "TWL_swp[ti=64]",
+            "TWL_swp[ti=64]"
+        ]
+    );
+
+    client2.shutdown().expect("shutdown");
+    let status = daemon2.wait_exit(Duration::from_secs(60));
+    assert!(status.success(), "daemon exited with {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -19,7 +19,7 @@ fn small_spec() -> JobSpec {
         kind: JobKind::AttackMatrix,
         pcm: PcmConfig::scaled(64, 500, 3),
         limits: SimLimits::default(),
-        schemes: vec![SchemeKind::Nowl, SchemeKind::TwlSwp],
+        schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
         attacks: vec![AttackKind::Repeat, AttackKind::Scan],
         benchmarks: vec![],
         fault: None,

@@ -25,7 +25,7 @@ fn killed_daemon_resumes_bit_identical() {
         kind: JobKind::AttackMatrix,
         pcm: PcmConfig::scaled(128, 2_000, 8),
         limits: SimLimits::default(),
-        schemes: vec![SchemeKind::Nowl, SchemeKind::TwlSwp],
+        schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
         attacks: vec![AttackKind::Repeat, AttackKind::Scan],
         benchmarks: vec![],
         fault: None,
