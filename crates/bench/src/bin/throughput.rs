@@ -204,6 +204,8 @@ fn main() {
     }
     twl_bench::print_table(&headers, &rows);
 
+    let (span_guard, span_overhead) = measure_span_overhead(&args);
+
     let doc = Json::obj([
         ("bench", json::str("throughput")),
         (
@@ -218,6 +220,7 @@ fn main() {
         ),
         ("runs", Json::Arr(runs)),
         ("min_speedup", json::num(min_speedup)),
+        ("span_overhead", span_guard),
     ]);
     std::fs::write(&args.out, doc.to_compact() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
@@ -227,4 +230,112 @@ fn main() {
         eprintln!("FAIL: batched throughput regressed below unbatched ({min_speedup:.2}x)");
         std::process::exit(1);
     }
+    if span_overhead > SPAN_OVERHEAD_BUDGET {
+        eprintln!(
+            "FAIL: span overhead {:.2}% exceeds the {:.0}% budget",
+            span_overhead * 100.0,
+            SPAN_OVERHEAD_BUDGET * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The fraction of batched throughput spans are allowed to cost.
+const SPAN_OVERHEAD_BUDGET: f64 = 0.02;
+
+/// Times the batched path with a sink installed and spans toggled off
+/// vs on — the *only* difference between the two runs is the span
+/// switch, so the ratio isolates pure span cost (one span per drive
+/// call; the sink and its wear samplers are active in both). Also
+/// asserts the reports are bit-identical, the oracle that spans stay
+/// off the simulation path. Returns the JSON summary and the measured
+/// overhead fraction.
+fn measure_span_overhead(args: &BenchArgs) -> (Json, f64) {
+    // The guard pins the full default geometry regardless of --smoke:
+    // smoke-scale devices wear out after ~200K writes, so the run
+    // length must come from the budget, not the flags. Runs are kept
+    // SHORT on purpose (~1M writes, a few ms): on a virtualized host,
+    // steal and frequency drift arrive in bursts lasting whole runs,
+    // so with many short runs enough of them land in quiet windows for
+    // the per-mode minima to converge — long runs (tens of ms) were
+    // measured absorbing a burst every time, swinging the estimate by
+    // ±5-40%.
+    let guard_args = BenchArgs {
+        pages: 8192,
+        endurance: 100_000,
+        seed: args.seed,
+        budget: 1_000_000,
+        iters: args.iters.max(60),
+        out: String::new(),
+    };
+    let kind = SchemeKind::TwlSwp;
+    let sink = twl_telemetry::MemorySink::new();
+    let records = sink.handle();
+    twl_telemetry::install_sink(sink);
+
+    // Runs interleave as off/on pairs, order alternating each pair to
+    // cancel any systematic first-run/second-run bias; each pair also
+    // yields an on/off ratio whose halves are adjacent in time, so a
+    // burst covering both cancels in the ratio.
+    let timed = |spans: bool| {
+        // Drop the previous run's records but keep the Vec's capacity:
+        // letting the buffer grow across runs puts its doubling
+        // reallocations (multi-MB memcpys) inside random timed
+        // regions.
+        records.lock().expect("sink poisoned").clear();
+        twl_telemetry::set_spans_enabled(spans);
+        run_once(&guard_args, kind, true)
+    };
+    let mut ratios = Vec::new();
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut writes = 0;
+    for i in 0..guard_args.iters {
+        let (off, on) = if i % 2 == 0 {
+            let off = timed(false);
+            (off, timed(true))
+        } else {
+            let on = timed(true);
+            (timed(false), on)
+        };
+        assert_eq!(
+            on.0, off.0,
+            "{kind}: enabling spans changed the simulation result"
+        );
+        ratios.push(on.2 / off.2);
+        off_secs = off_secs.min(off.2);
+        on_secs = on_secs.min(on.2);
+        writes = off.0.logical_writes;
+    }
+    twl_telemetry::clear_sinks();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+
+    #[allow(clippy::cast_precision_loss)]
+    let (off_wps, on_wps) = (writes as f64 / off_secs, writes as f64 / on_secs);
+    // Two estimators, gate on the smaller: the median pair ratio and
+    // the ratio of per-mode minima. A real span cost shifts both up by
+    // the same factor; environment noise (VM steal, frequency drift)
+    // inflates each one independently and rarely both, so the min
+    // keeps the gate's false-positive rate low without blinding it to
+    // genuine regressions an order of magnitude over the budget.
+    let median = ratios[ratios.len() / 2] - 1.0;
+    let overhead = median.min(on_secs / off_secs - 1.0);
+    println!(
+        "span overhead ({kind}, batched, sink installed): spans off {off_wps:.0} w/s, \
+         spans on {on_wps:.0} w/s, overhead {:+.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        SPAN_OVERHEAD_BUDGET * 100.0
+    );
+    let doc = Json::obj([
+        ("scheme", json::str(kind.label())),
+        ("logical_writes", json::int(writes)),
+        ("spans_off_secs", json::num(off_secs)),
+        ("spans_on_secs", json::num(on_secs)),
+        ("spans_off_writes_per_sec", json::num(off_wps)),
+        ("spans_on_writes_per_sec", json::num(on_wps)),
+        ("overhead_fraction", json::num(overhead)),
+        ("median_pair_overhead_fraction", json::num(median)),
+        ("budget_fraction", json::num(SPAN_OVERHEAD_BUDGET)),
+        ("identical", Json::Bool(true)),
+    ]);
+    (doc, overhead)
 }

@@ -181,6 +181,10 @@ fn drive(
     limits: &SimLimits,
     calibration: &Calibration,
 ) -> LifetimeReport {
+    // Wall-clock only; spans never touch the RNG or simulated state, so
+    // the batched loop stays bit-identical with tracing on. One span
+    // covers the whole batched write path — never per-batch timing.
+    let _span = twl_telemetry::span!("drive", scheme.name());
     let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
     let mut feedback: Option<WriteOutcome> = None;
     let mut logical_writes = 0u64;
@@ -215,6 +219,9 @@ fn drive(
         }
     }
     let alarm_rate = telemetry.end(device);
+    // Close the drive span before reporting so `report` is its sibling
+    // (queue-wait → build → drive → report), not its child.
+    drop(_span);
     finish(
         scheme,
         device,
@@ -235,6 +242,7 @@ fn drive_unbatched(
     limits: &SimLimits,
     calibration: &Calibration,
 ) -> LifetimeReport {
+    let _span = twl_telemetry::span!("drive_unbatched", scheme.name());
     let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
     let mut feedback: Option<WriteOutcome> = None;
     let mut logical_writes = 0u64;
@@ -255,6 +263,7 @@ fn drive_unbatched(
         }
     }
     let alarm_rate = telemetry.end(device);
+    drop(_span);
     finish(
         scheme,
         device,
@@ -335,6 +344,11 @@ fn drive_degraded(
     let device = &mut domain.device;
     let engine = &mut domain.engine;
     let total_pages = domain.data_pages + domain.spare_pages;
+    let _span = twl_telemetry::span!("drive_degraded", scheme.name());
+    // Fault absorption runs once per batch — too often for one record
+    // each, hot enough to want visibility. The aggregate folds every
+    // call into a single span record with a `count`.
+    let mut absorb_span = twl_telemetry::AggregateSpan::new("absorb", scheme.name());
     let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
     let mut feedback: Option<WriteOutcome> = None;
     let mut logical_writes = 0u64;
@@ -374,7 +388,7 @@ fn drive_degraded(
             "write_batch serviced {} of {len} writes without failing",
             batch.serviced
         );
-        match engine.absorb(device) {
+        match absorb_span.time(|| engine.absorb(device)) {
             Ok(absorbed) => {
                 if absorbed.corrected_now > 0 && first_fault.is_none() {
                     first_fault = Some(device.total_writes());
@@ -565,6 +579,7 @@ fn finish(
     calibration: &Calibration,
     alarm_rate: f64,
 ) -> LifetimeReport {
+    let _span = twl_telemetry::span!("report", scheme.name());
     let stats = scheme.stats();
     let total_endurance = device.endurance_map().total() as f64;
     let capacity_fraction = device.total_writes() as f64 / total_endurance;

@@ -43,10 +43,12 @@ pub fn run_attack_cell(
 ) -> LifetimeReport {
     let spec = spec.into();
     let calibration = Calibration::attack_8gbps();
+    let build_span = twl_telemetry::span!("cell.build", spec.to_string());
     let mut device = PcmDevice::new(pcm);
     let mut scheme = build_scheme_spec(&spec, &device)
         .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    drop(build_span);
     run_attack(
         scheme.as_mut(),
         &mut device,
@@ -75,10 +77,12 @@ pub fn run_workload_cell(
 ) -> LifetimeReport {
     let spec = spec.into();
     let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
+    let build_span = twl_telemetry::span!("cell.build", spec.to_string());
     let mut device = PcmDevice::new(pcm);
     let mut scheme = build_scheme_spec(&spec, &device)
         .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut workload = bench.workload(pcm.pages, pcm.seed);
+    drop(build_span);
     run_workload(
         scheme.as_mut(),
         &mut device,
@@ -109,11 +113,13 @@ pub fn run_degradation_cell(
 ) -> DegradationReport {
     let spec = spec.into();
     let calibration = Calibration::attack_8gbps();
+    let build_span = twl_telemetry::span!("cell.build", spec.to_string());
     let mut domain =
         provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
     let mut scheme = build_scheme_spec_for_region(&spec, &domain.device, domain.data_pages)
         .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
     let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    drop(build_span);
     run_degradation_attack(
         scheme.as_mut(),
         &mut domain,

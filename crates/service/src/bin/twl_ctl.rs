@@ -6,6 +6,7 @@
 //! twl-ctl [--addr HOST:PORT] status [JOB_ID] [--format table|json]
 //! twl-ctl [--addr HOST:PORT] wait JOB_ID [--format table|json]
 //! twl-ctl [--addr HOST:PORT] cancel JOB_ID
+//! twl-ctl [--addr HOST:PORT] metrics [--lint]
 //! twl-ctl [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -34,7 +35,7 @@ use std::process::ExitCode;
 use twl_service::job::{parse_attack, parse_benchmark, JobKind, JobReports, JobSpec};
 use twl_service::wire::{JobEvent, JobSnapshot};
 use twl_service::{decode_result, Client, SubmitOutcome};
-use twl_telemetry::json::{int, str, Json};
+use twl_telemetry::json::{int, num, str, Json};
 
 use twl_lifetime::{
     parse_spec_list, DegradationReport, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
@@ -42,7 +43,7 @@ use twl_lifetime::{
 use twl_pcm::PcmConfig;
 
 const USAGE: &str =
-    "usage: twl-ctl [--addr HOST:PORT] <ping|submit|status|wait|cancel|shutdown> [...]
+    "usage: twl-ctl [--addr HOST:PORT] <ping|submit|status|wait|cancel|metrics|shutdown> [...]
 run `twl-ctl` with no command for the full flag list";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -161,7 +162,21 @@ fn print_event(event: &JobEvent) {
             total,
             scheme,
             workload,
-        } => eprintln!("cell {}/{total} done: {scheme} under {workload}", cell + 1),
+            rate_wps,
+            eta_ms,
+            ..
+        } => {
+            #[allow(clippy::cast_precision_loss)]
+            let progress = match (rate_wps, eta_ms) {
+                (Some(r), Some(e)) => format!(" [{r:.0} wr/s, eta {:.1}s]", *e as f64 / 1e3),
+                (Some(r), None) => format!(" [{r:.0} wr/s]"),
+                _ => String::new(),
+            };
+            eprintln!(
+                "cell {}/{total} done: {scheme} under {workload}{progress}",
+                cell + 1
+            );
+        }
         JobEvent::Checkpointed { cells_done } => {
             eprintln!("checkpointed ({cells_done} cells persisted)");
         }
@@ -258,20 +273,33 @@ fn print_status(jobs: &[JobSnapshot], format: Format) {
             let arr = Json::Arr(
                 jobs.iter()
                     .map(|j| {
-                        Json::obj([
+                        let mut obj = Json::obj([
                             ("job_id", int(j.job_id)),
                             ("kind", str(&j.kind)),
                             ("status", str(&j.status)),
                             ("cells_done", int(j.cells_done)),
                             ("cells_total", int(j.cells_total)),
                             ("error", j.error.as_deref().map_or(Json::Null, str)),
-                        ])
+                        ]);
+                        if let Json::Obj(map) = &mut obj {
+                            if let Some(w) = j.writes_done {
+                                map.insert("writes_done".to_owned(), int(w));
+                            }
+                            if let Some(r) = j.rate_wps {
+                                map.insert("rate_wps".to_owned(), num(r));
+                            }
+                            if let Some(e) = j.eta_ms {
+                                map.insert("eta_ms".to_owned(), int(e));
+                            }
+                        }
+                        obj
                     })
                     .collect(),
             );
             println!("{}", arr.to_compact());
         }
         Format::Table => {
+            #[allow(clippy::cast_precision_loss)]
             let rows: Vec<Vec<String>> = jobs
                 .iter()
                 .map(|j| {
@@ -280,13 +308,19 @@ fn print_status(jobs: &[JobSnapshot], format: Format) {
                         j.kind.clone(),
                         j.status.clone(),
                         format!("{}/{}", j.cells_done, j.cells_total),
+                        j.rate_wps.map_or_else(String::new, |r| format!("{r:.0}")),
+                        j.eta_ms
+                            .map_or_else(String::new, |e| format!("{:.1}s", e as f64 / 1e3)),
                         j.error.clone().unwrap_or_default(),
                     ]
                 })
                 .collect();
             print!(
                 "{}",
-                twl_bench::format_table(&["job", "kind", "status", "cells", "error"], &rows)
+                twl_bench::format_table(
+                    &["job", "kind", "status", "cells", "wr/s", "eta", "error"],
+                    &rows
+                )
             );
         }
     }
@@ -491,6 +525,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "already finished"
                 }
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            let mut lint = false;
+            for arg in command_args {
+                match arg.as_str() {
+                    "--lint" => lint = true,
+                    other => return Err(format!("unknown metrics flag {other}")),
+                }
+            }
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            if lint {
+                let samples = twl_telemetry::prom::parse_exposition(&text)
+                    .map_err(|e| format!("exposition lint failed: {e}"))?;
+                eprintln!("lint ok: {} samples", samples.len());
+            }
+            print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {

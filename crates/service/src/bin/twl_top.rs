@@ -1,0 +1,175 @@
+//! `twl-top`: a live terminal dashboard for a `twl-serviced` daemon.
+//!
+//! ```text
+//! twl-top [--addr HOST:PORT] [--interval SECS] [--once]
+//! ```
+//!
+//! Each refresh polls the daemon twice over `twl-wire/v1` — a `status`
+//! snapshot for the job table and a `metrics` scrape for the
+//! daemon-wide counters — and redraws a single screen: a header with
+//! queue depth, worker utilization, and lifetime job totals, then one
+//! row per job with a progress bar, throughput, and ETA (the optional
+//! `JobSnapshot` progress fields, shown blank until a job reports
+//! them).
+//!
+//! `--once` renders a single frame without clearing the screen and
+//! exits — what the CI smoke job and scripts use. The default address
+//! is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use twl_service::wire::JobSnapshot;
+use twl_service::Client;
+use twl_telemetry::prom::{parse_exposition, scalar_samples};
+
+const USAGE: &str = "usage: twl-top [--addr HOST:PORT] [--interval SECS] [--once]";
+
+/// Daemon-wide numbers pulled out of one metrics scrape.
+#[derive(Debug, Default)]
+struct DaemonStats {
+    queue_depth: f64,
+    workers_busy: f64,
+    workers_total: f64,
+    completed: f64,
+    failed: f64,
+    cancelled: f64,
+}
+
+fn scrape(client: &mut Client) -> Result<DaemonStats, String> {
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    let samples = parse_exposition(&text).map_err(|e| format!("bad metrics page: {e}"))?;
+    let flat = scalar_samples(&samples);
+    let get = |name: &str| flat.get(name).copied().unwrap_or(0.0);
+    Ok(DaemonStats {
+        queue_depth: get("twl_service_queue_depth"),
+        workers_busy: get("twl_service_workers_busy"),
+        workers_total: get("twl_service_workers_total"),
+        completed: get("twl_service_jobs_completed"),
+        failed: get("twl_service_jobs_failed"),
+        cancelled: get("twl_service_jobs_cancelled"),
+    })
+}
+
+fn progress_bar(done: u64, total: u64, width: usize) -> String {
+    let filled = if total == 0 {
+        0
+    } else {
+        (done as usize).saturating_mul(width) / (total as usize).max(1)
+    };
+    let mut bar = String::with_capacity(width + 2);
+    bar.push('[');
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '.' });
+    }
+    bar.push(']');
+    bar
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn job_row(job: &JobSnapshot) -> Vec<String> {
+    let percent = (job.cells_done * 100)
+        .checked_div(job.cells_total)
+        .unwrap_or(100);
+    vec![
+        job.job_id.to_string(),
+        job.kind.clone(),
+        job.status.clone(),
+        format!(
+            "{} {percent:>3}%",
+            progress_bar(job.cells_done, job.cells_total, 16)
+        ),
+        format!("{}/{}", job.cells_done, job.cells_total),
+        job.writes_done.map_or_else(String::new, |w| w.to_string()),
+        job.rate_wps.map_or_else(String::new, |r| format!("{r:.0}")),
+        job.eta_ms
+            .map_or_else(String::new, |e| format!("{:.1}s", e as f64 / 1e3)),
+        job.error.clone().unwrap_or_default(),
+    ]
+}
+
+fn render_frame(addr: &str, stats: &DaemonStats, jobs: &[JobSnapshot]) -> String {
+    let mut out = format!(
+        "twl-serviced {addr} — queue depth {:.0}, workers {:.0}/{:.0} busy, \
+         jobs {:.0} completed / {:.0} failed / {:.0} cancelled\n\n",
+        stats.queue_depth,
+        stats.workers_busy,
+        stats.workers_total,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+    );
+    if jobs.is_empty() {
+        out.push_str("no jobs\n");
+        return out;
+    }
+    let rows: Vec<Vec<String>> = jobs.iter().map(job_row).collect();
+    out.push_str(&twl_bench::format_table(
+        &[
+            "job", "kind", "status", "progress", "cells", "writes", "wr/s", "eta", "error",
+        ],
+        &rows,
+    ));
+    out
+}
+
+fn poll(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let jobs = client.status(None).map_err(|e| e.to_string())?;
+    let stats = scrape(&mut client)?;
+    Ok(render_frame(addr, &stats, &jobs))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr =
+        std::env::var("TWL_SERVICE_ADDR").unwrap_or_else(|_| "127.0.0.1:7781".to_owned());
+    let mut interval = Duration::from_secs(2);
+    let mut once = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--addr" => addr = iter.next().ok_or("--addr needs a value")?.clone(),
+            "--interval" => {
+                let secs: f64 = iter
+                    .next()
+                    .ok_or("--interval needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+                if secs <= 0.0 || secs.is_nan() {
+                    return Err("--interval must be positive".into());
+                }
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--once" => once = true,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if once {
+        print!("{}", poll(&addr)?);
+        return Ok(ExitCode::SUCCESS);
+    }
+    loop {
+        match poll(&addr) {
+            // ESC[2J clears the screen, ESC[H homes the cursor: a full
+            // redraw per frame, no terminal library needed.
+            Ok(frame) => print!("\x1b[2J\x1b[H{frame}"),
+            // A daemon restart shouldn't kill the dashboard; show the
+            // error and keep polling.
+            Err(e) => println!("\x1b[2J\x1b[H{addr}: {e}"),
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -191,6 +191,22 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's Prometheus text-format metrics page
+    /// (registry counters/gauges/histograms plus per-job progress
+    /// gauges).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected reply.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::MetricsOk { text } => Ok(text),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            other => Err(ClientError::Protocol(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the daemon to cancel a job; `false` means it had already
     /// finished.
     ///

@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use twl_telemetry::json::Json;
 use twl_telemetry::{counter, gauge};
@@ -91,6 +92,10 @@ pub struct ClaimedJob {
     /// Set by [`JobQueue::cancel`]; the executor checks it between
     /// cells.
     pub cancel: Arc<AtomicBool>,
+    /// How long the job sat queued before this claim (for the
+    /// queue-wait span and histogram; restored jobs count from the
+    /// daemon restart, not the original submit).
+    pub queued_for: Duration,
 }
 
 #[derive(Debug)]
@@ -103,16 +108,81 @@ struct JobEntry {
     error: Option<String>,
     events: Vec<JobEvent>,
     cancel: Arc<AtomicBool>,
+    submitted_at: Instant,
+    started_at: Option<Instant>,
+    last_cell_at: Option<Instant>,
+    /// Cells finished by *this* run (resumed checkpoint cells excluded),
+    /// the denominator the ETA extrapolates from.
+    cells_run: u64,
+    writes_done: u64,
+    rate_wps: f64,
 }
 
 impl JobEntry {
+    fn new(spec: JobSpec, cells_total: u64) -> Self {
+        Self {
+            spec,
+            status: JobStatus::Queued,
+            cells_total,
+            completed_cells: BTreeMap::new(),
+            result: None,
+            error: None,
+            events: vec![JobEvent::Queued],
+            cancel: Arc::new(AtomicBool::new(false)),
+            submitted_at: Instant::now(),
+            started_at: None,
+            last_cell_at: None,
+            cells_run: 0,
+            writes_done: 0,
+            rate_wps: 0.0,
+        }
+    }
+
+    /// The optional progress triple (writes, EWMA rate, ETA) for
+    /// snapshots and `CellDone` events. All three stay `None` until a
+    /// cell finishes, so pre-progress frames keep their old shape; the
+    /// ETA additionally disappears once the job is terminal.
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    fn progress(&self) -> (Option<u64>, Option<f64>, Option<u64>) {
+        if self.cells_run == 0 {
+            return (None, None, None);
+        }
+        let writes = Some(self.writes_done);
+        // One decimal is plenty for a throughput readout and keeps the
+        // JSON encoding short and stable.
+        let rate = Some((self.rate_wps * 10.0).round() / 10.0);
+        let eta = match (self.status, self.started_at) {
+            (JobStatus::Running, Some(started)) => {
+                let done = self.completed_cells.len() as u64;
+                let remaining = self.cells_total.saturating_sub(done);
+                if remaining == 0 {
+                    None
+                } else {
+                    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                    let per_cell_ms = elapsed_ms / self.cells_run as f64;
+                    Some((per_cell_ms * remaining as f64).round() as u64)
+                }
+            }
+            _ => None,
+        };
+        (writes, rate, eta)
+    }
+
     fn snapshot(&self, job_id: u64) -> JobSnapshot {
+        let (writes_done, rate_wps, eta_ms) = self.progress();
         JobSnapshot {
             job_id,
             kind: self.spec.kind.label().to_owned(),
             status: self.status.label().to_owned(),
             cells_done: self.completed_cells.len() as u64,
             cells_total: self.cells_total,
+            writes_done,
+            rate_wps,
+            eta_ms,
             error: self.error.clone(),
         }
     }
@@ -201,19 +271,7 @@ impl JobQueue {
         let job_id = state.next_id;
         state.next_id += 1;
         let cells_total = spec.cell_count() as u64;
-        state.jobs.insert(
-            job_id,
-            JobEntry {
-                spec,
-                status: JobStatus::Queued,
-                cells_total,
-                completed_cells: BTreeMap::new(),
-                result: None,
-                error: None,
-                events: vec![JobEvent::Queued],
-                cancel: Arc::new(AtomicBool::new(false)),
-            },
-        );
+        state.jobs.insert(job_id, JobEntry::new(spec, cells_total));
         state.pending.push_back(job_id);
         counter!("twl.service.jobs.queued").inc();
         Self::publish_depth(&state);
@@ -246,25 +304,17 @@ impl JobQueue {
             (JobStatus::Queued, true)
         };
         let cells_total = spec.cell_count() as u64;
-        let mut events = vec![JobEvent::Queued];
+        let mut entry = JobEntry::new(spec, cells_total);
+        entry.status = status;
+        entry.completed_cells = completed_cells;
+        entry.result = result;
+        entry.error = error;
         if status.is_terminal() {
-            events.push(JobEvent::Finished {
+            entry.events.push(JobEvent::Finished {
                 status: status.label().to_owned(),
             });
         }
-        state.jobs.insert(
-            job_id,
-            JobEntry {
-                spec,
-                status,
-                cells_total,
-                completed_cells,
-                result,
-                error,
-                events,
-                cancel: Arc::new(AtomicBool::new(false)),
-            },
-        );
+        state.jobs.insert(job_id, entry);
         if requeue {
             state.pending.push_back(job_id);
             counter!("twl.service.jobs.queued").inc();
@@ -291,6 +341,7 @@ impl JobQueue {
                     spec: entry.spec.clone(),
                     completed_cells: entry.completed_cells.clone(),
                     cancel: Arc::clone(&entry.cancel),
+                    queued_for: entry.submitted_at.elapsed(),
                 });
             }
             state = self
@@ -300,18 +351,25 @@ impl JobQueue {
         }
     }
 
-    /// Marks a claimed job running and publishes the `Started` event.
+    /// Marks a claimed job running, starts its progress clock, and
+    /// publishes the `Started` event.
     pub fn mark_running(&self, job_id: u64) {
         let mut state = self.lock();
         if let Some(entry) = state.jobs.get_mut(&job_id) {
             entry.status = JobStatus::Running;
+            entry.started_at = Some(Instant::now());
+            entry.last_cell_at = None;
+            entry.cells_run = 0;
             entry.events.push(JobEvent::Started);
         }
         drop(state);
         self.watchers.notify_all();
     }
 
-    /// Records one finished cell and publishes its event.
+    /// Records one finished cell (with the device writes it performed),
+    /// folds the writes into the job's EWMA throughput, and publishes a
+    /// progress-carrying `CellDone` event.
+    #[allow(clippy::cast_precision_loss)]
     pub fn record_cell(
         &self,
         job_id: u64,
@@ -319,16 +377,35 @@ impl JobQueue {
         report: Json,
         scheme: String,
         workload: String,
+        device_writes: u64,
     ) {
         let mut state = self.lock();
         if let Some(entry) = state.jobs.get_mut(&job_id) {
+            let now = Instant::now();
             entry.completed_cells.insert(cell, report);
+            entry.writes_done = entry.writes_done.saturating_add(device_writes);
+            // Instantaneous rate over this cell's interval, smoothed
+            // exponentially so one slow cell doesn't whipsaw the ETA.
+            let since = entry.last_cell_at.or(entry.started_at).unwrap_or(now);
+            let dt = now.duration_since(since).as_secs_f64().max(1e-6);
+            let inst = device_writes as f64 / dt;
+            entry.rate_wps = if entry.cells_run == 0 {
+                inst
+            } else {
+                0.7 * entry.rate_wps + 0.3 * inst
+            };
+            entry.last_cell_at = Some(now);
+            entry.cells_run += 1;
             let total = entry.cells_total;
+            let (writes_done, rate_wps, eta_ms) = entry.progress();
             entry.events.push(JobEvent::CellDone {
                 cell,
                 total,
                 scheme,
                 workload,
+                writes_done,
+                rate_wps,
+                eta_ms,
             });
         }
         drop(state);
@@ -598,6 +675,49 @@ mod tests {
     }
 
     #[test]
+    fn progress_appears_once_cells_complete() {
+        let queue = JobQueue::new(8, 100);
+        let mut two_cells = spec();
+        two_cells.attacks = vec![AttackKind::Repeat, AttackKind::Scan];
+        let id = queue.submit(two_cells).unwrap();
+
+        // Queued: no progress fields yet (old snapshot shape).
+        let snap = &queue.snapshot(Some(id))[0];
+        assert_eq!(snap.writes_done, None);
+        assert_eq!(snap.rate_wps, None);
+        assert_eq!(snap.eta_ms, None);
+
+        let claimed = queue.claim().unwrap();
+        assert!(claimed.queued_for.as_nanos() > 0);
+        queue.mark_running(id);
+        queue.record_cell(id, 0, Json::Null, "NOWL".into(), "repeat".into(), 5_000);
+
+        // Running with 1 of 2 cells done: all three fields live.
+        let snap = &queue.snapshot(Some(id))[0];
+        assert_eq!(snap.writes_done, Some(5_000));
+        assert!(snap.rate_wps.unwrap() > 0.0);
+        assert!(snap.eta_ms.is_some(), "one cell remains, so an ETA exists");
+        let JobEvent::CellDone {
+            writes_done,
+            rate_wps,
+            ..
+        } = queue.next_events(id, 2).unwrap().0[0].clone()
+        else {
+            panic!("expected the CellDone event");
+        };
+        assert_eq!(writes_done, Some(5_000));
+        assert!(rate_wps.unwrap() > 0.0);
+
+        queue.record_cell(id, 1, Json::Null, "NOWL".into(), "scan".into(), 7_000);
+        queue.finish(id, JobStatus::Completed, Some(Json::Null), None);
+
+        // Terminal: the total sticks, the ETA is gone.
+        let snap = &queue.snapshot(Some(id))[0];
+        assert_eq!(snap.writes_done, Some(12_000));
+        assert_eq!(snap.eta_ms, None);
+    }
+
+    #[test]
     fn streams_see_events_in_order_across_threads() {
         let queue = Arc::new(JobQueue::new(8, 100));
         let id = queue.submit(spec()).unwrap();
@@ -617,7 +737,7 @@ mod tests {
             })
         };
         queue.mark_running(id);
-        queue.record_cell(id, 0, Json::Null, "NOWL".into(), "repeat".into());
+        queue.record_cell(id, 0, Json::Null, "NOWL".into(), "repeat".into(), 1_000);
         queue.finish(id, JobStatus::Completed, Some(Json::Null), None);
         let seen = watcher.join().unwrap();
         assert_eq!(seen[0], JobEvent::Queued);

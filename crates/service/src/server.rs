@@ -23,7 +23,8 @@ use std::thread;
 use std::time::Instant;
 
 use twl_lifetime::pool;
-use twl_telemetry::{counter, histogram, ScopeGuard};
+use twl_telemetry::prom::{render_exposition, PromWriter};
+use twl_telemetry::{counter, gauge, histogram, ScopeGuard};
 
 use crate::checkpoint::{Checkpoint, CheckpointDir};
 use crate::framing::{read_frame, write_frame, FrameError};
@@ -137,6 +138,7 @@ impl Server {
     /// Propagates accept-loop failures.
     pub fn run(self) -> io::Result<()> {
         let local_addr = self.local_addr()?;
+        gauge!("twl.service.workers.total").set(i64::try_from(self.workers).unwrap_or(i64::MAX));
         let worker_handles: Vec<_> = (0..self.workers)
             .map(|_| {
                 let queue = Arc::clone(&self.queue);
@@ -144,7 +146,9 @@ impl Server {
                 let interval = self.checkpoint_interval_writes;
                 thread::spawn(move || {
                     while let Some(job) = queue.claim() {
+                        gauge!("twl.service.workers.busy").add(1);
                         execute_job(&queue, checkpoints.as_deref(), interval, job);
+                        gauge!("twl.service.workers.busy").add(-1);
                     }
                 })
             })
@@ -229,10 +233,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// checkpoint) are skipped; everything else re-runs, so the assembled
 /// result is bit-identical to an uninterrupted run.
 fn execute_job(queue: &JobQueue, dir: Option<&CheckpointDir>, interval: u64, job: ClaimedJob) {
-    let _scope = ScopeGuard::new(format!("job-{}", job.job_id));
+    let job_label = format!("job-{}", job.job_id);
+    let _scope = ScopeGuard::new(job_label.clone());
+    let queue_wait_us = u64::try_from(job.queued_for.as_micros()).unwrap_or(u64::MAX);
+    histogram!("twl.service.job.queue_wait_ms").record(queue_wait_us / 1_000);
+    // The wait ended before execution began, so it is recorded as a
+    // sibling of the job span, not a child (emitted before the guard
+    // opens, while this thread's span stack is empty).
+    twl_telemetry::emit_measured("job.queue_wait", job_label.clone(), queue_wait_us, 1);
+    let job_span = twl_telemetry::span!("job", job_label.clone());
     let started = Instant::now();
     queue.mark_running(job.job_id);
     if let Some(dir) = dir {
+        let _cp_span = twl_telemetry::span!("job.checkpoint", job_label.clone());
         save_checkpoint(
             dir,
             job.job_id,
@@ -263,10 +276,11 @@ fn execute_job(queue: &JobQueue, dir: Option<&CheckpointDir>, interval: u64, job
             Ok((report, device_writes)) => {
                 let (scheme, workload) = job.spec.describe_cell(index);
                 completed.insert(cell, report.clone());
-                queue.record_cell(job.job_id, cell, report, scheme, workload);
+                queue.record_cell(job.job_id, cell, report, scheme, workload, device_writes);
                 writes_since_checkpoint += device_writes;
                 if let Some(dir) = dir {
                     if writes_since_checkpoint >= interval {
+                        let _cp_span = twl_telemetry::span!("job.checkpoint", job_label.clone());
                         save_checkpoint(
                             dir,
                             job.job_id,
@@ -303,14 +317,89 @@ fn execute_job(queue: &JobQueue, dir: Option<&CheckpointDir>, interval: u64, job
             None,
         )
     };
-    queue.finish(job.job_id, status, result.clone(), error.clone());
     if let Some(dir) = dir {
+        let _cp_span = twl_telemetry::span!("job.checkpoint", job_label.clone());
         save_checkpoint(
-            dir, job.job_id, &job.spec, status, &completed, result, error,
+            dir,
+            job.job_id,
+            &job.spec,
+            status,
+            &completed,
+            result.clone(),
+            error.clone(),
         );
     }
     let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
     histogram!("twl.service.job.wall_ms").record(wall_ms);
+    // Close the job span and flush before publishing the result, so a
+    // client that saw the terminal event immediately finds a complete
+    // wall-time histogram and a complete, durable job trace.
+    drop(job_span);
+    twl_telemetry::flush_sinks();
+    queue.finish(job.job_id, status, result, error);
+}
+
+/// Renders the full scrape page: the global registry (counters, gauges,
+/// histograms from every subsystem), then one gauge family per per-job
+/// progress dimension, labeled `job="<id>"`.
+fn render_metrics_page(queue: &JobQueue) -> String {
+    let mut page = render_exposition(&twl_telemetry::global().snapshot());
+    let jobs = queue.snapshot(None);
+    if jobs.is_empty() {
+        return page;
+    }
+    let ids: Vec<String> = jobs.iter().map(|j| j.job_id.to_string()).collect();
+    let mut info = Vec::new();
+    let mut cells_done = Vec::new();
+    let mut cells_total = Vec::new();
+    let mut writes_done = Vec::new();
+    let mut rate_wps = Vec::new();
+    let mut eta_ms = Vec::new();
+    #[allow(clippy::cast_precision_loss)]
+    for (job, id) in jobs.iter().zip(&ids) {
+        let label = [("job", id.as_str())];
+        info.push((
+            vec![
+                ("job", id.as_str()),
+                ("kind", job.kind.as_str()),
+                ("status", job.status.as_str()),
+            ],
+            1.0,
+        ));
+        cells_done.push((label, job.cells_done as f64));
+        cells_total.push((label, job.cells_total as f64));
+        if let Some(w) = job.writes_done {
+            writes_done.push((label, w as f64));
+        }
+        if let Some(r) = job.rate_wps {
+            rate_wps.push((label, r));
+        }
+        if let Some(e) = job.eta_ms {
+            eta_ms.push((label, e as f64));
+        }
+    }
+    let mut w = PromWriter::new();
+    let info: Vec<(&[(&str, &str)], f64)> = info.iter().map(|(l, v)| (l.as_slice(), *v)).collect();
+    w.gauge_family("twl_service_job_info", &info);
+    job_gauge_family(&mut w, "twl_service_job_cells_done", &cells_done);
+    job_gauge_family(&mut w, "twl_service_job_cells_total", &cells_total);
+    job_gauge_family(&mut w, "twl_service_job_writes_done", &writes_done);
+    job_gauge_family(&mut w, "twl_service_job_rate_wps", &rate_wps);
+    job_gauge_family(&mut w, "twl_service_job_eta_ms", &eta_ms);
+    page.push_str(&w.finish());
+    page
+}
+
+/// Writes one single-label (`job="<id>"`) gauge family, skipping
+/// families with no live samples so the page carries no empty `# TYPE`
+/// stanzas.
+fn job_gauge_family(w: &mut PromWriter, name: &str, samples: &[([(&str, &str); 1], f64)]) {
+    if samples.is_empty() {
+        return;
+    }
+    let flat: Vec<(&[(&str, &str)], f64)> =
+        samples.iter().map(|(l, v)| (l.as_slice(), *v)).collect();
+    w.gauge_family(name, &flat);
 }
 
 fn send(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
@@ -458,6 +547,12 @@ fn handle_connection(
                     }
                 };
                 if send(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::Metrics => {
+                let text = render_metrics_page(queue);
+                if send(stream, &Response::MetricsOk { text }).is_err() {
                     return;
                 }
             }

@@ -7,9 +7,38 @@
 //! `{"type":"hello","proto":"twl-wire/v1"}` and the daemon refuses
 //! mismatched versions before any other traffic.
 
-use twl_telemetry::json::{int, str, Json};
+use twl_telemetry::json::{int, num, str, Json};
 
 use crate::job::{req_str, req_u64, JobSpec};
+
+/// Inserts `key` only when the value is present — optional fields are
+/// *omitted*, not nulled, so documents written before the field existed
+/// re-encode byte-identically.
+fn opt_insert(obj: &mut Json, key: &str, value: Option<Json>) {
+    if let (Json::Obj(map), Some(v)) = (obj, value) {
+        map.insert(key.to_owned(), v);
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("non-integer `{key}`")),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(f) => f
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("non-numeric `{key}`")),
+    }
+}
 
 /// The protocol version this crate speaks.
 pub const PROTOCOL: &str = "twl-wire/v1";
@@ -42,6 +71,9 @@ pub enum Request {
         /// The job to cancel.
         job_id: u64,
     },
+    /// Fetch a Prometheus text-format snapshot of the daemon's metrics
+    /// registry and per-job progress gauges.
+    Metrics,
     /// Drain in-flight jobs, persist queued ones, and exit.
     Shutdown,
 }
@@ -63,6 +95,7 @@ impl Request {
             Self::Cancel { job_id } => {
                 Json::obj([("type", str("cancel")), ("job_id", int(*job_id))])
             }
+            Self::Metrics => Json::obj([("type", str("metrics"))]),
             Self::Shutdown => Json::obj([("type", str("shutdown"))]),
         }
     }
@@ -93,6 +126,7 @@ impl Request {
             "cancel" => Ok(Self::Cancel {
                 job_id: req_u64(v, "job_id")?,
             }),
+            "metrics" => Ok(Self::Metrics),
             "shutdown" => Ok(Self::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
         }
@@ -112,20 +146,33 @@ pub struct JobSnapshot {
     pub cells_done: u64,
     /// Total matrix cells.
     pub cells_total: u64,
+    /// Device writes completed so far; absent until the job has run at
+    /// least one cell (and on frames from daemons that predate it).
+    pub writes_done: Option<u64>,
+    /// Smoothed (EWMA) device-write throughput in writes/s; same
+    /// presence rules as `writes_done`.
+    pub rate_wps: Option<f64>,
+    /// Estimated milliseconds until the job finishes; absent when no
+    /// estimate exists (not started, finished, or pre-PR-6 daemon).
+    pub eta_ms: Option<u64>,
     /// The failure message, if the job failed.
     pub error: Option<String>,
 }
 
 impl JobSnapshot {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("job_id", int(self.job_id)),
             ("kind", str(&self.kind)),
             ("status", str(&self.status)),
             ("cells_done", int(self.cells_done)),
             ("cells_total", int(self.cells_total)),
             ("error", self.error.as_deref().map_or(Json::Null, str)),
-        ])
+        ]);
+        opt_insert(&mut obj, "writes_done", self.writes_done.map(int));
+        opt_insert(&mut obj, "rate_wps", self.rate_wps.map(num));
+        opt_insert(&mut obj, "eta_ms", self.eta_ms.map(int));
+        obj
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -135,6 +182,9 @@ impl JobSnapshot {
             status: req_str(v, "status")?.to_owned(),
             cells_done: req_u64(v, "cells_done")?,
             cells_total: req_u64(v, "cells_total")?,
+            writes_done: opt_u64(v, "writes_done")?,
+            rate_wps: opt_f64(v, "rate_wps")?,
+            eta_ms: opt_u64(v, "eta_ms")?,
             error: match v.get("error") {
                 None | Some(Json::Null) => None,
                 Some(e) => Some(e.as_str().ok_or("non-string `error`")?.to_owned()),
@@ -160,6 +210,13 @@ pub enum JobEvent {
         scheme: String,
         /// The cell's workload name.
         workload: String,
+        /// Cumulative device writes after this cell; absent on frames
+        /// from daemons that predate progress reporting.
+        writes_done: Option<u64>,
+        /// Smoothed device-write throughput in writes/s.
+        rate_wps: Option<f64>,
+        /// Estimated milliseconds to job completion.
+        eta_ms: Option<u64>,
     },
     /// Progress was persisted to the checkpoint directory.
     Checkpointed {
@@ -183,13 +240,22 @@ impl JobEvent {
                 total,
                 scheme,
                 workload,
-            } => Json::obj([
-                ("what", str("cell_done")),
-                ("cell", int(*cell)),
-                ("total", int(*total)),
-                ("scheme", str(scheme)),
-                ("workload", str(workload)),
-            ]),
+                writes_done,
+                rate_wps,
+                eta_ms,
+            } => {
+                let mut obj = Json::obj([
+                    ("what", str("cell_done")),
+                    ("cell", int(*cell)),
+                    ("total", int(*total)),
+                    ("scheme", str(scheme)),
+                    ("workload", str(workload)),
+                ]);
+                opt_insert(&mut obj, "writes_done", writes_done.map(int));
+                opt_insert(&mut obj, "rate_wps", rate_wps.map(num));
+                opt_insert(&mut obj, "eta_ms", eta_ms.map(int));
+                obj
+            }
             Self::Checkpointed { cells_done } => Json::obj([
                 ("what", str("checkpointed")),
                 ("cells_done", int(*cells_done)),
@@ -209,6 +275,9 @@ impl JobEvent {
                 total: req_u64(v, "total")?,
                 scheme: req_str(v, "scheme")?.to_owned(),
                 workload: req_str(v, "workload")?.to_owned(),
+                writes_done: opt_u64(v, "writes_done")?,
+                rate_wps: opt_f64(v, "rate_wps")?,
+                eta_ms: opt_u64(v, "eta_ms")?,
             }),
             "checkpointed" => Ok(Self::Checkpointed {
                 cells_done: req_u64(v, "cells_done")?,
@@ -274,6 +343,11 @@ pub enum Response {
         /// `false` if the job had already reached a terminal state.
         cancelled: bool,
     },
+    /// A Prometheus text-format metrics page.
+    MetricsOk {
+        /// The exposition page (text format v0.0.4).
+        text: String,
+    },
     /// The daemon is draining and will exit.
     ShutdownOk,
     /// The request could not be served; the connection stays usable
@@ -330,6 +404,9 @@ impl Response {
                 ("job_id", int(*job_id)),
                 ("cancelled", Json::Bool(*cancelled)),
             ]),
+            Self::MetricsOk { text } => {
+                Json::obj([("type", str("metrics_ok")), ("text", str(text))])
+            }
             Self::ShutdownOk => Json::obj([("type", str("shutdown_ok"))]),
             Self::Error { message } => {
                 Json::obj([("type", str("error")), ("message", str(message))])
@@ -385,6 +462,9 @@ impl Response {
                     _ => return Err("missing or non-boolean `cancelled`".into()),
                 },
             }),
+            "metrics_ok" => Ok(Self::MetricsOk {
+                text: req_str(v, "text")?.to_owned(),
+            }),
             "shutdown_ok" => Ok(Self::ShutdownOk),
             "error" => Ok(Self::Error {
                 message: req_str(v, "message")?.to_owned(),
@@ -424,6 +504,7 @@ mod tests {
             Request::Status { job_id: Some(3) },
             Request::Stream { job_id: 5 },
             Request::Cancel { job_id: 5 },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in requests {
@@ -445,14 +526,30 @@ mod tests {
                 retry_after_ms: 500,
             },
             Response::StatusOk {
-                jobs: vec![JobSnapshot {
-                    job_id: 1,
-                    kind: "attack_matrix".to_owned(),
-                    status: "running".to_owned(),
-                    cells_done: 2,
-                    cells_total: 4,
-                    error: None,
-                }],
+                jobs: vec![
+                    JobSnapshot {
+                        job_id: 1,
+                        kind: "attack_matrix".to_owned(),
+                        status: "running".to_owned(),
+                        cells_done: 2,
+                        cells_total: 4,
+                        writes_done: None,
+                        rate_wps: None,
+                        eta_ms: None,
+                        error: None,
+                    },
+                    JobSnapshot {
+                        job_id: 2,
+                        kind: "attack_matrix".to_owned(),
+                        status: "running".to_owned(),
+                        cells_done: 2,
+                        cells_total: 4,
+                        writes_done: Some(1_500_000),
+                        rate_wps: Some(125_000.5),
+                        eta_ms: Some(12_000),
+                        error: None,
+                    },
+                ],
             },
             Response::Event {
                 job_id: 1,
@@ -461,7 +558,26 @@ mod tests {
                     total: 4,
                     scheme: "TWL_swp".to_owned(),
                     workload: "repeat".to_owned(),
+                    writes_done: None,
+                    rate_wps: None,
+                    eta_ms: None,
                 },
+            },
+            Response::Event {
+                job_id: 2,
+                event: JobEvent::CellDone {
+                    cell: 2,
+                    total: 4,
+                    scheme: "TWL_swp".to_owned(),
+                    workload: "repeat".to_owned(),
+                    writes_done: Some(1_500_000),
+                    rate_wps: Some(125_000.5),
+                    eta_ms: Some(12_000),
+                },
+            },
+            Response::MetricsOk {
+                text: "# TYPE twl_service_queue_depth gauge\ntwl_service_queue_depth 0\n"
+                    .to_owned(),
             },
             Response::Event {
                 job_id: 1,
@@ -489,6 +605,35 @@ mod tests {
             let back = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn progress_fields_are_optional_and_omitted_when_absent() {
+        // Frames exactly as a pre-PR-6 daemon wrote them: no
+        // writes_done / rate_wps / eta_ms keys anywhere.
+        let old_event =
+            r#"{"cell":1,"scheme":"NOWL","total":4,"what":"cell_done","workload":"repeat"}"#;
+        let event = JobEvent::from_json(&Json::parse(old_event).unwrap()).unwrap();
+        assert!(matches!(
+            event,
+            JobEvent::CellDone {
+                writes_done: None,
+                rate_wps: None,
+                eta_ms: None,
+                ..
+            }
+        ));
+        assert_eq!(event.to_json().to_compact(), old_event);
+
+        let old_snapshot = concat!(
+            r#"{"cells_done":2,"cells_total":4,"error":null,"#,
+            r#""job_id":1,"kind":"attack_matrix","status":"running"}"#
+        );
+        let snap = JobSnapshot::from_json(&Json::parse(old_snapshot).unwrap()).unwrap();
+        assert_eq!(snap.writes_done, None);
+        assert_eq!(snap.rate_wps, None);
+        assert_eq!(snap.eta_ms, None);
+        assert_eq!(snap.to_json().to_compact(), old_snapshot);
     }
 
     #[test]

@@ -27,6 +27,11 @@ const PR4_SPEC: &str = include_str!("fixtures/pr4_job_spec.json");
 /// by the PR-4 daemon, with the cell reports it actually computed.
 const PR4_CHECKPOINT: &str = include_str!("fixtures/pr4_checkpoint.json");
 
+/// Progress-carrying frames as the PR-6 daemon writes them: a
+/// `status_ok` snapshot and a `cell_done` event, both with the optional
+/// `writes_done` / `rate_wps` / `eta_ms` fields present.
+const PR6_PROGRESS: &str = include_str!("fixtures/pr6_progress_frames.jsonl");
+
 #[test]
 fn pr4_job_specs_still_parse_and_reencode_byte_identically() {
     let spec = JobSpec::from_json(&Json::parse(PR4_SPEC.trim()).expect("fixture JSON"))
@@ -42,6 +47,45 @@ fn pr4_job_specs_still_parse_and_reencode_byte_identically() {
     // document round-trips byte-for-byte: a PR-4 client reading a new
     // daemon's output sees exactly the schema it was built against.
     assert_eq!(spec.to_json().to_compact(), PR4_SPEC.trim());
+}
+
+#[test]
+fn pr6_progress_frames_roundtrip_byte_identically() {
+    use twl_service::wire::{JobEvent, Response};
+
+    for line in PR6_PROGRESS.lines().filter(|l| !l.trim().is_empty()) {
+        let frame =
+            Response::from_json(&Json::parse(line).expect("fixture JSON")).expect("frame decodes");
+        assert_eq!(frame.to_json().to_compact(), line);
+    }
+
+    // The extended fields really decoded (not silently dropped).
+    let first = PR6_PROGRESS.lines().next().expect("snapshot line");
+    let Response::StatusOk { jobs } = Response::from_json(&Json::parse(first).unwrap()).unwrap()
+    else {
+        panic!("first fixture line is not status_ok");
+    };
+    assert_eq!(jobs[0].writes_done, Some(150_000_000));
+    assert_eq!(jobs[0].rate_wps, Some(1_234_567.5));
+    assert_eq!(jobs[0].eta_ms, Some(45_210));
+
+    let second = PR6_PROGRESS.lines().nth(1).expect("event line");
+    let Response::Event { event, .. } = Response::from_json(&Json::parse(second).unwrap()).unwrap()
+    else {
+        panic!("second fixture line is not an event");
+    };
+    let JobEvent::CellDone {
+        writes_done,
+        rate_wps,
+        eta_ms,
+        ..
+    } = event
+    else {
+        panic!("event is not cell_done");
+    };
+    assert_eq!(writes_done, Some(150_000_000));
+    assert_eq!(rate_wps, Some(1_234_567.5));
+    assert_eq!(eta_ms, Some(45_210));
 }
 
 #[test]

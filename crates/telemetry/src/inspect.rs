@@ -139,6 +139,79 @@ impl Trace {
         }
         out
     }
+
+    /// The last metrics-registry dump in the trace, if any.
+    #[must_use]
+    pub fn final_counters(&self) -> Option<&crate::MetricsSnapshot> {
+        self.records.iter().rev().find_map(|r| match r {
+            TelemetryRecord::Counters(snap) => Some(snap),
+            _ => None,
+        })
+    }
+
+    /// Folds every `span` record into a self-time profile: one row per
+    /// (phase name, label), ordered by total exclusive time descending
+    /// so the hottest phase is on top.
+    #[must_use]
+    pub fn span_profile(&self) -> Vec<SpanProfileRow> {
+        let mut rows: Vec<SpanProfileRow> = Vec::new();
+        for r in &self.records {
+            let TelemetryRecord::Span {
+                name,
+                label,
+                count,
+                inclusive_us,
+                exclusive_us,
+                ..
+            } = r
+            else {
+                continue;
+            };
+            match rows
+                .iter_mut()
+                .find(|row| &row.name == name && &row.label == label)
+            {
+                Some(row) => {
+                    row.spans += 1;
+                    row.count += count;
+                    row.inclusive_us += inclusive_us;
+                    row.exclusive_us += exclusive_us;
+                }
+                None => rows.push(SpanProfileRow {
+                    name: name.clone(),
+                    label: label.clone(),
+                    spans: 1,
+                    count: *count,
+                    inclusive_us: *inclusive_us,
+                    exclusive_us: *exclusive_us,
+                }),
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.exclusive_us
+                .cmp(&a.exclusive_us)
+                .then_with(|| a.name.cmp(&b.name))
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        rows
+    }
+}
+
+/// One aggregated row of a span profile (see [`Trace::span_profile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanProfileRow {
+    /// Phase name.
+    pub name: String,
+    /// Grouping label (scheme, workload, job id; may be empty).
+    pub label: String,
+    /// Number of `span` records folded into the row.
+    pub spans: u64,
+    /// Total timed sections (≥ `spans`; aggregates fold many).
+    pub count: u64,
+    /// Total wall-clock microseconds, children included.
+    pub inclusive_us: u64,
+    /// Total self-time microseconds, children excluded.
+    pub exclusive_us: u64,
 }
 
 /// One (scheme, workload) cell's degradation state, folded from its
@@ -278,6 +351,33 @@ pub fn render_summary_table(trace: &Trace) -> String {
             &deg_rows,
         ));
     }
+    if let Some(snap) = trace.final_counters() {
+        if !snap.histograms.is_empty() {
+            if !rows.is_empty() || !degradation.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("metrics histograms (final dump):\n");
+            let hist_rows: Vec<Vec<String>> = snap
+                .histograms
+                .iter()
+                .map(|h| {
+                    vec![
+                        h.name.clone(),
+                        h.count.to_string(),
+                        format!("{:.1}", h.mean()),
+                        format!("{:.1}", h.quantile(0.50)),
+                        format!("{:.1}", h.quantile(0.90)),
+                        format!("{:.1}", h.quantile(0.99)),
+                        h.max.to_string(),
+                    ]
+                })
+                .collect();
+            out.push_str(&render_columns(
+                &["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                &hist_rows,
+            ));
+        }
+    }
     if trace.skipped > 0 {
         out.push_str(&format!(
             "\n({} unparseable lines skipped)\n",
@@ -285,6 +385,92 @@ pub fn render_summary_table(trace: &Trace) -> String {
         ));
     }
     out
+}
+
+/// Renders [`Trace::span_profile`] as a table: per (phase, label) call
+/// counts, inclusive/exclusive totals, and each row's share of the
+/// trace's total self-time.
+#[must_use]
+pub fn render_span_table(trace: &Trace) -> String {
+    let profile = trace.span_profile();
+    if profile.is_empty() {
+        return "no span records in trace\n".to_owned();
+    }
+    let total_exclusive: u64 = profile.iter().map(|r| r.exclusive_us).sum();
+    let rows: Vec<Vec<String>> = profile
+        .iter()
+        .map(|r| {
+            let share = if total_exclusive == 0 {
+                0.0
+            } else {
+                r.exclusive_us as f64 / total_exclusive as f64 * 100.0
+            };
+            vec![
+                r.name.clone(),
+                if r.label.is_empty() {
+                    "-".to_owned()
+                } else {
+                    r.label.clone()
+                },
+                r.spans.to_string(),
+                r.count.to_string(),
+                format!("{:.3}", r.inclusive_us as f64 / 1000.0),
+                format!("{:.3}", r.exclusive_us as f64 / 1000.0),
+                format!("{share:.1}%"),
+            ]
+        })
+        .collect();
+    let mut out = render_columns(
+        &[
+            "phase", "label", "spans", "count", "incl-ms", "excl-ms", "self",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "total self-time: {:.3} ms over {} phase rows\n",
+        total_exclusive as f64 / 1000.0,
+        profile.len()
+    ));
+    out
+}
+
+/// The JSON twin of [`render_span_table`]: one document with a
+/// `spans` array (name, label, spans, count, inclusive_us,
+/// exclusive_us, self_fraction) plus `total_exclusive_us`.
+#[must_use]
+pub fn render_span_json(trace: &Trace) -> String {
+    use crate::json::{int, num, str, Json};
+    let profile = trace.span_profile();
+    let total_exclusive: u64 = profile.iter().map(|r| r.exclusive_us).sum();
+    let spans: Vec<Json> = profile
+        .iter()
+        .map(|r| {
+            let share = if total_exclusive == 0 {
+                0.0
+            } else {
+                r.exclusive_us as f64 / total_exclusive as f64
+            };
+            Json::obj([
+                ("name", str(&r.name)),
+                ("label", str(&r.label)),
+                ("spans", int(r.spans)),
+                ("count", int(r.count)),
+                ("inclusive_us", int(r.inclusive_us)),
+                ("exclusive_us", int(r.exclusive_us)),
+                ("self_fraction", num(share)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", str(crate::SCHEMA_VERSION)),
+        ("spans", Json::Arr(spans)),
+        ("total_exclusive_us", int(total_exclusive)),
+        (
+            "skipped",
+            int(u64::try_from(trace.skipped).unwrap_or(u64::MAX)),
+        ),
+    ])
+    .to_compact()
 }
 
 /// Renders the same per-scheme summary as [`render_summary_table`], but
@@ -359,6 +545,27 @@ pub fn render_summary_json(trace: &Trace) -> String {
         .map(|(scheme, count)| (scheme.to_owned(), int(count)))
         .collect();
     root.insert("alarms".to_owned(), Json::Obj(alarms));
+    let histograms: Vec<Json> = trace
+        .final_counters()
+        .map(|snap| {
+            snap.histograms
+                .iter()
+                .map(|h| {
+                    Json::obj([
+                        ("name", str(&h.name)),
+                        ("count", int(h.count)),
+                        ("sum", int(h.sum)),
+                        ("max", int(h.max)),
+                        ("mean", num(h.mean())),
+                        ("p50", num(h.quantile(0.50))),
+                        ("p90", num(h.quantile(0.90))),
+                        ("p99", num(h.quantile(0.99))),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    root.insert("histograms".to_owned(), Json::Arr(histograms));
     root.insert(
         "skipped".to_owned(),
         int(u64::try_from(trace.skipped).unwrap_or(u64::MAX)),
@@ -600,6 +807,92 @@ mod tests {
         let old = trace_of(vec![summary("a", 10.0, 0.02, 0.01)]);
         let new = trace_of(vec![summary("b", 1.0, 0.5, 0.9)]);
         assert!(diff_traces(&old, &new, 0.05).is_empty());
+    }
+
+    fn span(
+        name: &str,
+        label: &str,
+        parent: Option<&str>,
+        incl: u64,
+        excl: u64,
+    ) -> TelemetryRecord {
+        TelemetryRecord::Span {
+            name: name.to_owned(),
+            label: label.to_owned(),
+            parent: parent.map(str::to_owned),
+            depth: u64::from(parent.is_some()),
+            count: 1,
+            inclusive_us: incl,
+            exclusive_us: excl,
+        }
+    }
+
+    #[test]
+    fn span_profile_folds_by_phase_and_label() {
+        let trace = trace_of(vec![
+            span("drive", "TWL_swp", Some("cell"), 900, 900),
+            span("cell", "TWL_swp", None, 1000, 100),
+            span("drive", "NOWL", Some("cell"), 400, 400),
+            span("cell", "NOWL", None, 500, 100),
+            span("drive", "TWL_swp", Some("cell"), 300, 300),
+            span("cell", "TWL_swp", None, 350, 50),
+        ]);
+        let profile = trace.span_profile();
+        assert_eq!(profile.len(), 4, "{profile:?}");
+        // Hottest self-time first: TWL_swp drive (900+300).
+        assert_eq!(profile[0].name, "drive");
+        assert_eq!(profile[0].label, "TWL_swp");
+        assert_eq!(profile[0].spans, 2);
+        assert_eq!(profile[0].inclusive_us, 1200);
+        assert_eq!(profile[0].exclusive_us, 1200);
+
+        let table = render_span_table(&trace);
+        assert!(table.contains("phase"), "table:\n{table}");
+        assert!(table.contains("TWL_swp"), "table:\n{table}");
+        assert!(table.contains("total self-time"), "table:\n{table}");
+
+        use crate::json::Json;
+        let doc = Json::parse(&render_span_json(&trace)).expect("valid JSON");
+        let spans = doc.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            doc.get("total_exclusive_us").and_then(Json::as_u64),
+            Some(900 + 300 + 400 + 100 + 100 + 50)
+        );
+    }
+
+    #[test]
+    fn empty_span_profile_renders_a_note() {
+        let trace = trace_of(vec![summary("a", 1.0, 0.0, 0.0)]);
+        assert_eq!(render_span_table(&trace), "no span records in trace\n");
+    }
+
+    #[test]
+    fn summary_surfaces_histogram_percentiles() {
+        use crate::metrics::HistogramSnapshot;
+        let trace = trace_of(vec![
+            summary("a", 1.0, 0.0, 0.0),
+            TelemetryRecord::Counters(crate::MetricsSnapshot {
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![HistogramSnapshot {
+                    name: "twl.job.wall_ms".to_owned(),
+                    count: 4,
+                    sum: 40,
+                    max: 16,
+                    buckets: vec![0, 0, 1, 2, 1],
+                }],
+            }),
+        ]);
+        let table = render_summary_table(&trace);
+        assert!(table.contains("metrics histograms"), "table:\n{table}");
+        assert!(table.contains("twl.job.wall_ms"), "table:\n{table}");
+        use crate::json::Json;
+        let doc = Json::parse(&render_summary_json(&trace)).expect("valid JSON");
+        let hists = doc.get("histograms").and_then(Json::as_arr).unwrap();
+        assert_eq!(hists.len(), 1);
+        let p99 = hists[0].get("p99").and_then(Json::as_f64).unwrap();
+        assert!(p99 > 0.0 && p99 <= 16.0, "p99 clamped to max: {p99}");
     }
 
     #[test]

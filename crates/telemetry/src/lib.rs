@@ -20,10 +20,18 @@
 //!    ([`ScopeGuard`]) — how the `twl-service` daemon gives every job
 //!    its own trace. When no sink is installed, [`emit`] costs one
 //!    relaxed atomic load.
-//! 4. **Inspection** ([`Trace`], [`render_summary_table`],
-//!    [`render_summary_json`], [`diff_traces`]) — the library behind
-//!    the `twl-stats` binary: loads JSONL traces, renders per-scheme
-//!    tables (or one machine-readable JSON document), and flags
+//! 4. **Spans** ([`SpanGuard`], [`span!`], [`AggregateSpan`]) —
+//!    wall-clock phase timing with parent/child nesting via a
+//!    thread-local span stack, emitted as `span` records; entirely off
+//!    the simulation RNG path, and free when no sink is installed.
+//! 5. **Prometheus exposition** ([`prom`]) — renders a
+//!    [`MetricsSnapshot`] as a text-format (v0.0.4) scrape page, with a
+//!    matching parser/format-lint.
+//! 6. **Inspection** ([`Trace`], [`render_summary_table`],
+//!    [`render_summary_json`], [`render_span_table`], [`diff_traces`])
+//!    — the library behind the `twl-stats` binary: loads JSONL traces,
+//!    renders per-scheme tables (or one machine-readable JSON
+//!    document), folds span records into self-time profiles, and flags
 //!    wear-out regressions between two traces.
 //!
 //! Every emitted record carries [`SCHEMA_VERSION`] so traces remain
@@ -36,20 +44,27 @@ mod metrics;
 mod record;
 mod route;
 mod sink;
+mod span;
 mod wear;
 
 pub mod json;
+pub mod prom;
 
 /// Schema tag stamped on every JSONL record.
 pub const SCHEMA_VERSION: &str = "twl-telemetry/v1";
 
 pub use inspect::{
-    diff_traces, render_summary_json, render_summary_table, DegradationCell, Regression, Trace,
+    diff_traces, render_span_json, render_span_table, render_summary_json, render_summary_table,
+    DegradationCell, Regression, SpanProfileRow, Trace,
 };
-pub use metrics::{global, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use metrics::{
+    global, quantile_from_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry,
+};
 pub use record::{SchemeSummary, TelemetryRecord};
 pub use route::{clear_scope, current_scope, set_scope, RoutingJsonlSink, ScopeGuard};
 pub use sink::{
     clear_sinks, emit, enabled, flush_sinks, install_sink, set_enabled, JsonlSink, MemorySink, Sink,
 };
+pub use span::{emit_measured, set_spans_enabled, spans_enabled, AggregateSpan, SpanGuard};
 pub use wear::{WearMapSampler, WearSnapshot, WearSummary, WEAR_BUCKETS};

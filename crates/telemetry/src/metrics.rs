@@ -71,6 +71,13 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Adds `delta` (which may be negative); useful for occupancy-style
+    /// gauges such as busy-worker counts.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     #[must_use]
@@ -163,6 +170,28 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the power-of-two bucket the rank falls in, clamped to the
+    /// largest sample actually seen. Empty histograms report `0.0`, not
+    /// NaN.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count() == 0 {
+            return 0.0;
+        }
+        quantile_from_buckets(&self.bucket_counts(), q).min(self.max() as f64)
+    }
+
+    /// The (p50, p90, p99) triple of [`Self::quantile`].
+    #[must_use]
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -177,6 +206,40 @@ impl Default for Histogram {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Interpolates the `q`-quantile from power-of-two bucket counts laid
+/// out like [`Histogram`]'s: bucket `i` covers `[2^i, 2^(i+1))` with
+/// bucket 0 also holding zeros. Returns `0.0` when every bucket is
+/// empty. The result is the interpolated position inside the bucket the
+/// rank lands in, so it can exceed the true maximum sample — callers
+/// with a tracked max (see [`Histogram::quantile`]) should clamp.
+#[must_use]
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cum = 0.0_f64;
+    let mut last_nonzero_upper = 0.0_f64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let lower = if i == 0 { 0.0 } else { (i as f64).exp2() };
+        let upper = ((i + 1) as f64).exp2();
+        last_nonzero_upper = upper;
+        let next = cum + c as f64;
+        if next >= rank {
+            let within = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * within;
+        }
+        cum = next;
+    }
+    // Torn concurrent reads can leave `rank` past the scanned mass;
+    // the upper edge of the last occupied bucket is the honest answer.
+    last_nonzero_upper
 }
 
 /// Interned storage: names are registered once and leaked, so handles
@@ -195,8 +258,49 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// Gauge names and values, sorted by name.
     pub gauges: Vec<(String, i64)>,
-    /// Histogram names with (count, sum, max), sorted by name.
-    pub histograms: Vec<(String, u64, u64, u64)>,
+    /// Histogram snapshots, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// A point-in-time copy of one [`Histogram`], buckets included, so
+/// consumers (Prometheus exposition, `twl-stats` percentiles) can work
+/// from a trace or a wire snapshot without the live registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket counts in [`Histogram`]'s power-of-two layout. May be
+    /// empty when decoded from a pre-bucket trace record.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// [`Histogram::quantile`] over the captured buckets: interpolated,
+    /// max-clamped, and `0.0` when empty (or when the snapshot carries
+    /// no bucket detail).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0.0;
+        }
+        quantile_from_buckets(&self.buckets, q).min(self.max as f64)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 impl Registry {
@@ -253,12 +357,17 @@ impl Registry {
             snap.gauges.push((n.to_owned(), g.get()));
         }
         for &(n, h) in self.histograms.lock().expect("registry poisoned").iter() {
-            snap.histograms
-                .push((n.to_owned(), h.count(), h.sum(), h.max()));
+            snap.histograms.push(HistogramSnapshot {
+                name: n.to_owned(),
+                count: h.count(),
+                sum: h.sum(),
+                max: h.max(),
+                buckets: h.bucket_counts(),
+            });
         }
         snap.counters.sort();
         snap.gauges.sort();
-        snap.histograms.sort();
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
         snap
     }
 
@@ -344,7 +453,12 @@ mod tests {
             vec![("a.first".to_owned(), 1), ("z.last".to_owned(), 5)]
         );
         assert_eq!(snap.gauges, vec![("queue.depth".to_owned(), -3)]);
-        assert_eq!(snap.histograms, vec![("lat".to_owned(), 1, 7, 7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!((h.name.as_str(), h.count, h.sum, h.max), ("lat", 1, 7, 7));
+        assert_eq!(h.buckets.len(), Histogram::BUCKETS);
+        assert_eq!(h.buckets[2], 1, "7 lands in [4,8)");
+        assert_eq!(h.quantile(0.5), 7.0, "interpolation clamps to max");
     }
 
     #[test]
@@ -360,6 +474,40 @@ mod tests {
         assert_eq!(buckets[1], 1, "3 lands in [2,4)");
         assert_eq!(buckets[10], 1, "1024 lands in [1024,2048)");
         assert_eq!(buckets[Histogram::BUCKETS - 1], 1, "overflow clamps");
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_guard_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0, not NaN");
+        assert_eq!(h.percentiles(), (0.0, 0.0, 0.0));
+
+        // 100 samples spread evenly over [0, 100): p50 should land near
+        // the middle, p99 near (but never past) the max.
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = h.percentiles();
+        assert!(
+            (32.0..=64.0).contains(&p50),
+            "p50 in the [32,64) bucket: {p50}"
+        );
+        assert!(p50 < p90 && p90 <= p99, "monotone: {p50} {p90} {p99}");
+        assert!(p99 <= h.max() as f64, "clamped to max");
+    }
+
+    #[test]
+    fn quantile_gauge_add_and_zero_samples() {
+        let h = Histogram::new();
+        for _ in 0..4 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.99), 0.0, "all-zero samples clamp to max=0");
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Prometheus text-format (v0.0.4) exposition of a metrics snapshot.
+//!
+//! [`render_exposition`] turns a [`MetricsSnapshot`] into the plain-text
+//! page a Prometheus server scrapes: counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le="…"}` series plus
+//! `_sum`/`_count`. The fixed power-of-two buckets of [`Histogram`]
+//! (bucket `i` covers `[2^i, 2^(i+1))`, integer samples only) expose
+//! exact upper bounds `le="2^(i+1)-1"`.
+//!
+//! [`PromWriter`] is the underlying builder, public so callers (the
+//! `twl-serviced` `metrics` request) can append extra families — e.g.
+//! per-job progress gauges — after the registry dump. [`parse_exposition`]
+//! is the matching reader/format-lint used by `twl-top`, `twl-ctl
+//! metrics --lint`, and CI.
+//!
+//! [`Histogram`]: crate::Histogram
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps an internal metric name (dotted, e.g. `twl.service.queue.depth`)
+/// to a valid Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`, every
+/// other character replaced by `_`.
+#[must_use]
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the text format: backslash, double quote,
+/// and newline.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        // The text format spans +Inf/-Inf/NaN literals.
+        return if v.is_nan() {
+            "NaN".to_owned()
+        } else if v > 0.0 {
+            "+Inf".to_owned()
+        } else {
+            "-Inf".to_owned()
+        };
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", metric_name(k), escape_label_value(v));
+    }
+    out.push('}');
+}
+
+/// Builds one exposition page; families are emitted in call order, each
+/// with its `# TYPE` header line.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty page.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str) {
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let name = metric_name(name);
+        self.type_line(&name, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A gauge family: one sample per label set (pass one entry with an
+    /// empty label slice for a plain gauge).
+    pub fn gauge_family(&mut self, name: &str, samples: &[(&[(&str, &str)], f64)]) {
+        let name = metric_name(name);
+        self.type_line(&name, "gauge");
+        for (labels, value) in samples {
+            let mut line = name.clone();
+            write_labels(&mut line, labels);
+            let _ = writeln!(self.out, "{line} {}", fmt_value(*value));
+        }
+    }
+
+    /// One unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauge_family(name, &[(&[], value)]);
+    }
+
+    /// A histogram family: cumulative `_bucket` series with exact
+    /// integer upper bounds, then `_sum` and `_count`.
+    pub fn histogram(&mut self, h: &HistogramSnapshot) {
+        let name = metric_name(&h.name);
+        self.type_line(&name, "histogram");
+        let mut cumulative: u64 = 0;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            // Bucket i holds integer samples in [2^i, 2^(i+1)), so the
+            // inclusive upper bound is 2^(i+1)-1 (bucket 0 also holds
+            // zeros). u128 keeps the last bucket's bound exact.
+            let le = (1u128 << (i + 1)) - 1;
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(self.out, "{name}_sum {}", h.sum);
+        let _ = writeln!(self.out, "{name}_count {}", h.count);
+    }
+
+    /// The finished page.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a whole [`MetricsSnapshot`] (counters, gauges, histograms, in
+/// that order, each section name-sorted as the snapshot already is).
+#[must_use]
+pub fn render_exposition(snap: &MetricsSnapshot) -> String {
+    let mut w = PromWriter::new();
+    for (name, value) in &snap.counters {
+        w.counter(name, *value);
+    }
+    for (name, value) in &snap.gauges {
+        w.gauge(name, *value as f64);
+    }
+    for h in &snap.histograms {
+        w.histogram(h);
+    }
+    w.finish()
+}
+
+/// One parsed sample line of an exposition page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (for histograms: the `_bucket`/`_sum`/`_count` name).
+    pub name: String,
+    /// Label pairs in line order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<PromSample, String> {
+    let err = |what: &str| format!("line {lineno}: {what}: `{line}`");
+    let (name_and_labels, value) = line
+        .rsplit_once(char::is_whitespace)
+        .ok_or_else(|| err("expected `name[{labels}] value`"))?;
+    let value = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| err("unparseable sample value"))?,
+    };
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.trim().to_owned(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err("unterminated label set"))?;
+            let mut labels = Vec::new();
+            let mut chars = body.chars().peekable();
+            while chars.peek().is_some() {
+                let mut key = String::new();
+                for c in chars.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                }
+                if !valid_name(key.trim()) {
+                    return Err(err("bad label name"));
+                }
+                if chars.next() != Some('"') {
+                    return Err(err("label value must be quoted"));
+                }
+                let mut val = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('\\') => val.push('\\'),
+                            Some('"') => val.push('"'),
+                            Some('n') => val.push('\n'),
+                            _ => return Err(err("bad escape in label value")),
+                        },
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        c => val.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(err("unterminated label value"));
+                }
+                labels.push((key.trim().to_owned(), val));
+                if chars.peek() == Some(&',') {
+                    chars.next();
+                }
+            }
+            (name.trim().to_owned(), labels)
+        }
+    };
+    if !valid_name(&name) {
+        return Err(err("invalid metric name"));
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parses and lints one exposition page.
+///
+/// Beyond per-line syntax (names, quoted/escaped label values, numeric
+/// sample values), this enforces the histogram contract for every
+/// `# TYPE x histogram` family: `x_bucket` series cumulative and
+/// non-decreasing, a `+Inf` bucket present and equal to `x_count`, and
+/// `x_sum` present.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    let mut histogram_families = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            if parts.first() == Some(&"TYPE") {
+                if parts.len() != 3
+                    || !valid_name(parts[1])
+                    || !matches!(
+                        parts[2],
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    )
+                {
+                    return Err(format!("line {lineno}: malformed TYPE line: `{line}`"));
+                }
+                if parts[2] == "histogram" {
+                    histogram_families.push(parts[1].to_owned());
+                }
+            }
+            continue;
+        }
+        samples.push(parse_sample(line, lineno)?);
+    }
+    for family in &histogram_families {
+        lint_histogram(family, &samples)?;
+    }
+    Ok(samples)
+}
+
+fn lint_histogram(family: &str, samples: &[PromSample]) -> Result<(), String> {
+    let bucket_name = format!("{family}_bucket");
+    let mut prev: Option<(f64, f64)> = None; // (le, cumulative)
+    let mut inf_value = None;
+    for s in samples.iter().filter(|s| s.name == bucket_name) {
+        let le = s
+            .label("le")
+            .ok_or_else(|| format!("histogram `{family}`: bucket without `le` label"))?;
+        let le = match le {
+            "+Inf" => f64::INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("histogram `{family}`: unparseable le `{v}`"))?,
+        };
+        if let Some((prev_le, prev_cum)) = prev {
+            if le <= prev_le {
+                return Err(format!("histogram `{family}`: le bounds not increasing"));
+            }
+            if s.value < prev_cum {
+                return Err(format!(
+                    "histogram `{family}`: cumulative bucket counts decreased at le={le}"
+                ));
+            }
+        }
+        if le.is_infinite() {
+            inf_value = Some(s.value);
+        }
+        prev = Some((le, s.value));
+    }
+    let inf =
+        inf_value.ok_or_else(|| format!("histogram `{family}`: missing le=\"+Inf\" bucket"))?;
+    let count = samples
+        .iter()
+        .find(|s| s.name == format!("{family}_count"))
+        .ok_or_else(|| format!("histogram `{family}`: missing _count"))?;
+    if samples.iter().all(|s| s.name != format!("{family}_sum")) {
+        return Err(format!("histogram `{family}`: missing _sum"));
+    }
+    if (count.value - inf).abs() > f64::EPSILON {
+        return Err(format!(
+            "histogram `{family}`: _count {} != +Inf bucket {}",
+            count.value, inf
+        ));
+    }
+    Ok(())
+}
+
+/// Folds parsed samples into `name -> value` for quick assertions,
+/// keeping only unlabeled samples (label-bearing families like per-job
+/// gauges need [`PromSample`] directly).
+#[must_use]
+pub fn scalar_samples(samples: &[PromSample]) -> BTreeMap<String, f64> {
+    samples
+        .iter()
+        .filter(|s| s.labels.is_empty())
+        .map(|s| (s.name.clone(), s.value))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_and_labels_escaped() {
+        assert_eq!(
+            metric_name("twl.service.queue.depth"),
+            "twl_service_queue_depth"
+        );
+        assert_eq!(metric_name("0day"), "_day");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn label_escaping_roundtrips_through_the_parser() {
+        let mut w = PromWriter::new();
+        w.gauge_family(
+            "twl_job_progress",
+            &[(&[("job", "weird\\label\"with\nstuff")], 0.5)],
+        );
+        let samples = parse_exposition(&w.finish()).expect("lint passes");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].label("job"), Some("weird\\label\"with\nstuff"));
+        assert_eq!(samples[0].value, 0.5);
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_consistent() {
+        let h = HistogramSnapshot {
+            name: "twl.service.job.wall_ms".to_owned(),
+            count: 6,
+            sum: 90,
+            max: 40,
+            buckets: vec![1, 2, 0, 1, 0, 2],
+        };
+        let mut w = PromWriter::new();
+        w.histogram(&h);
+        let page = w.finish();
+        assert!(page.contains("# TYPE twl_service_job_wall_ms histogram"));
+        assert!(page.contains("twl_service_job_wall_ms_bucket{le=\"1\"} 1"));
+        assert!(page.contains("twl_service_job_wall_ms_bucket{le=\"3\"} 3"));
+        assert!(page.contains("twl_service_job_wall_ms_bucket{le=\"+Inf\"} 6"));
+        assert!(page.contains("twl_service_job_wall_ms_sum 90"));
+        assert!(page.contains("twl_service_job_wall_ms_count 6"));
+        let samples = parse_exposition(&page).expect("consistent histogram lints clean");
+        assert_eq!(
+            scalar_samples(&samples)["twl_service_job_wall_ms_count"],
+            6.0
+        );
+    }
+
+    #[test]
+    fn lint_rejects_inconsistent_histograms() {
+        let bad_cumulative = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"3\"} 4
+h_bucket{le=\"+Inf\"} 5
+h_sum 10
+h_count 5
+";
+        assert!(parse_exposition(bad_cumulative)
+            .unwrap_err()
+            .contains("decreased"));
+        let count_mismatch = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"+Inf\"} 2
+h_sum 2
+h_count 3
+";
+        assert!(parse_exposition(count_mismatch)
+            .unwrap_err()
+            .contains("_count"));
+        let missing_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n";
+        assert!(parse_exposition(missing_inf).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn lint_rejects_syntax_errors() {
+        assert!(parse_exposition("not a metric line at all!{ 3").is_err());
+        assert!(parse_exposition("name{le=\"unterminated} 3").is_err());
+        assert!(parse_exposition("name nonnumeric").is_err());
+        assert!(parse_exposition("# TYPE bad kind extra").is_err());
+    }
+
+    #[test]
+    fn registry_snapshot_renders_and_lints() {
+        let registry = crate::Registry::default();
+        registry.counter("prom.test.writes").add(7);
+        registry.gauge("prom.test.depth").set(-2);
+        let h = registry.histogram("prom.test.lat");
+        for v in [0, 5, 9, 1000] {
+            h.record(v);
+        }
+        let page = render_exposition(&registry.snapshot());
+        let samples = parse_exposition(&page).expect("whole page lints");
+        let flat = scalar_samples(&samples);
+        assert_eq!(flat["prom_test_writes"], 7.0);
+        assert_eq!(flat["prom_test_depth"], -2.0);
+        assert_eq!(flat["prom_test_lat_count"], 4.0);
+        assert_eq!(flat["prom_test_lat_sum"], 1014.0);
+    }
+}

@@ -97,6 +97,27 @@ pub enum TelemetryRecord {
     },
     /// A dump of the global metrics registry.
     Counters(MetricsSnapshot),
+    /// One closed timing span (see [`crate::SpanGuard`]): a phase of
+    /// work with wall-clock inclusive/exclusive time and its position
+    /// in the thread's span tree.
+    Span {
+        /// Phase name (e.g. `drive`, `cell.build`, `job`).
+        name: String,
+        /// Free-form grouping label (scheme, workload, job id; may be
+        /// empty).
+        label: String,
+        /// Name of the enclosing span, if any.
+        parent: Option<String>,
+        /// Nesting depth (0 = root span of its thread).
+        depth: u64,
+        /// Timed sections folded into this record (1 for a plain span;
+        /// >1 for an [`crate::AggregateSpan`]).
+        count: u64,
+        /// Wall-clock microseconds from open to close.
+        inclusive_us: u64,
+        /// `inclusive_us` minus time spent inside child spans.
+        exclusive_us: u64,
+    },
 }
 
 impl TelemetryRecord {
@@ -110,6 +131,7 @@ impl TelemetryRecord {
             Self::Alarm { .. } => "alarm",
             Self::Degradation { .. } => "degradation_point",
             Self::Counters(_) => "counters",
+            Self::Span { .. } => "span",
         }
     }
 
@@ -209,13 +231,17 @@ impl TelemetryRecord {
                 let histograms = Json::Obj(
                     snap.histograms
                         .iter()
-                        .map(|(n, count, sum, max)| {
+                        .map(|h| {
                             (
-                                n.clone(),
+                                h.name.clone(),
                                 Json::obj([
-                                    ("count", int(*count)),
-                                    ("sum", int(*sum)),
-                                    ("max", int(*max)),
+                                    ("count", int(h.count)),
+                                    ("sum", int(h.sum)),
+                                    ("max", int(h.max)),
+                                    (
+                                        "buckets",
+                                        Json::Arr(h.buckets.iter().map(|&b| int(b)).collect()),
+                                    ),
                                 ]),
                             )
                         })
@@ -226,6 +252,30 @@ impl TelemetryRecord {
                     ("gauges", gauges),
                     ("histograms", histograms),
                 ])
+            }
+            Self::Span {
+                name,
+                label,
+                parent,
+                depth,
+                count,
+                inclusive_us,
+                exclusive_us,
+            } => {
+                let mut obj = Json::obj([
+                    ("name", str(name)),
+                    ("label", str(label)),
+                    ("depth", int(*depth)),
+                    ("count", int(*count)),
+                    ("inclusive_us", int(*inclusive_us)),
+                    ("exclusive_us", int(*exclusive_us)),
+                ]);
+                // `parent` rides only when present, so root spans stay
+                // compact and older documents re-encode byte-identically.
+                if let (Json::Obj(map), Some(parent)) = (&mut obj, parent) {
+                    map.insert("parent".to_owned(), str(parent));
+                }
+                obj
             }
         };
         if let Json::Obj(map) = &mut obj {
@@ -361,16 +411,35 @@ impl TelemetryRecord {
                 if let Some(Json::Obj(map)) = value.get("histograms") {
                     for (n, v) in map {
                         let field = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
-                        snap.histograms.push((
-                            n.clone(),
-                            field("count"),
-                            field("sum"),
-                            field("max"),
-                        ));
+                        snap.histograms.push(crate::metrics::HistogramSnapshot {
+                            name: n.clone(),
+                            count: field("count"),
+                            sum: field("sum"),
+                            max: field("max"),
+                            // Optional: pre-bucket traces decode to an
+                            // empty vec (quantiles then report 0).
+                            buckets: v
+                                .get("buckets")
+                                .and_then(Json::as_arr)
+                                .map(|items| items.iter().filter_map(Json::as_u64).collect())
+                                .unwrap_or_default(),
+                        });
                     }
                 }
                 Ok(Self::Counters(snap))
             }
+            "span" => Ok(Self::Span {
+                name: get_str("name")?,
+                label: get_str("label")?,
+                parent: value
+                    .get("parent")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                depth: get_u64("depth")?,
+                count: get_u64("count")?,
+                inclusive_us: get_u64("inclusive_us")?,
+                exclusive_us: get_u64("exclusive_us")?,
+            }),
             other => Err(format!("unknown record kind `{other}`")),
         }
     }
@@ -434,10 +503,58 @@ mod tests {
         let record = TelemetryRecord::Counters(MetricsSnapshot {
             counters: vec![("twl.core.writes".to_owned(), u64::MAX)],
             gauges: vec![("q.depth".to_owned(), -5)],
-            histograms: vec![("lat".to_owned(), 10, 1000, 400)],
+            histograms: vec![crate::metrics::HistogramSnapshot {
+                name: "lat".to_owned(),
+                count: 10,
+                sum: 1000,
+                max: 400,
+                buckets: vec![0, 3, 0, 7],
+            }],
         });
         let back = TelemetryRecord::from_jsonl(&record.to_jsonl()).expect("roundtrip");
         assert_eq!(back, record);
+    }
+
+    #[test]
+    fn counters_without_buckets_still_decode() {
+        // A pre-bucket trace line (PR-1 era) keeps parsing; buckets just
+        // come back empty.
+        let line = r#"{"counters":{},"gauges":{},"histograms":{"lat":{"count":2,"max":9,"sum":12}},"kind":"counters","schema":"twl-telemetry/v1"}"#;
+        let TelemetryRecord::Counters(snap) =
+            TelemetryRecord::from_jsonl(line).expect("old line parses")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(snap.histograms[0].count, 2);
+        assert!(snap.histograms[0].buckets.is_empty());
+        assert_eq!(snap.histograms[0].quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn span_roundtrips_with_and_without_parent() {
+        let root = TelemetryRecord::Span {
+            name: "job".to_owned(),
+            label: "job-3".to_owned(),
+            parent: None,
+            depth: 0,
+            count: 1,
+            inclusive_us: 1500,
+            exclusive_us: 400,
+        };
+        let child = TelemetryRecord::Span {
+            name: "drive".to_owned(),
+            label: "TWL_swp".to_owned(),
+            parent: Some("job".to_owned()),
+            depth: 1,
+            count: 64,
+            inclusive_us: 1100,
+            exclusive_us: 1100,
+        };
+        for record in [root, child] {
+            let line = record.to_jsonl();
+            let back = TelemetryRecord::from_jsonl(&line).expect("roundtrip");
+            assert_eq!(back, record);
+        }
     }
 
     #[test]

@@ -155,6 +155,16 @@ pub fn emit(record: &TelemetryRecord) {
     }
 }
 
+/// Serializes tests that exercise the process-global pipeline; the
+/// test binary runs modules in parallel, so every test that installs a
+/// sink must hold this first.
+#[cfg(test)]
+pub(crate) fn pipeline_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Flushes all installed sinks without removing them.
 pub fn flush_sinks() {
     for sink in pipeline()
@@ -179,10 +189,11 @@ mod tests {
         }
     }
 
-    // One test drives the whole global pipeline: tests in this binary run
-    // in parallel, and the pipeline is process-global state.
+    // The pipeline is process-global state shared with other modules'
+    // tests; `pipeline_test_guard` serializes them.
     #[test]
     fn pipeline_fans_out_and_honours_switch() {
+        let _lock = pipeline_test_guard();
         assert!(!enabled(), "emission starts off");
         emit(&alarm(0)); // goes nowhere, must not panic
 
