@@ -1,0 +1,101 @@
+//! Golden-fixture pin of the `twl-cellkey/v1` content address.
+//!
+//! `tests/fixtures/pr7_cellkeys.json` stores, for one representative
+//! cell of each matrix kind, the exact canonical descriptor bytes and
+//! the resulting key. These bytes are a compatibility contract: cache
+//! entries written by one build must hit under every later build, so
+//! any change that moves them MUST bump [`twl_fleet::cellkey::SCHEMA`]
+//! (and regenerate this fixture under the new version) rather than
+//! silently re-keying — see the schema-evolution rules on the
+//! `cellkey` module.
+
+use twl_attacks::AttackKind;
+use twl_fleet::{sha256_hex, CellKey};
+use twl_lifetime::{SchemeKind, SimLimits};
+use twl_pcm::PcmConfig;
+use twl_service::job::JobKind;
+use twl_service::JobSpec;
+use twl_telemetry::json::Json;
+use twl_workloads::ParsecBenchmark;
+
+const GOLDEN: &str = include_str!("fixtures/pr7_cellkeys.json");
+
+/// The named cells the fixture pins, one per descriptor shape: a plain
+/// attack-matrix cell, a lifetime run (which must share the attack
+/// keyspace), a workload cell, and a degradation cell (which carries
+/// the fault sub-document).
+fn fixture_cells() -> Vec<(&'static str, JobSpec, usize)> {
+    let base = JobSpec {
+        kind: JobKind::AttackMatrix,
+        pcm: PcmConfig::scaled(128, 2_000, 8),
+        limits: SimLimits::default(),
+        schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
+        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        benchmarks: vec![],
+        fault: None,
+    };
+    let mut lifetime = base.clone();
+    lifetime.kind = JobKind::LifetimeRun;
+    lifetime.schemes = vec![SchemeKind::TwlSwp.into()];
+    lifetime.attacks = vec![AttackKind::Scan];
+    let mut workload = base.clone();
+    workload.kind = JobKind::WorkloadMatrix;
+    workload.attacks = vec![];
+    workload.benchmarks = vec![ParsecBenchmark::ALL[0]];
+    let mut degradation = base.clone();
+    degradation.kind = JobKind::DegradationMatrix;
+    vec![
+        ("attack__twl_swp_x_scan", base, 3),
+        ("lifetime_run__twl_swp_x_scan", lifetime, 0),
+        ("workload__nowl_x_first_benchmark", workload, 0),
+        ("degradation__nowl_x_repeat", degradation, 0),
+    ]
+}
+
+#[test]
+fn golden_cellkeys_are_byte_identical() {
+    let golden = Json::parse(GOLDEN).expect("fixture parses");
+    let entries = match golden.get("entries") {
+        Some(Json::Arr(entries)) => entries,
+        other => panic!("fixture has no entries array: {other:?}"),
+    };
+    let cells = fixture_cells();
+    assert_eq!(entries.len(), cells.len(), "fixture/spec count mismatch");
+    for ((name, spec, index), entry) in cells.into_iter().zip(entries) {
+        assert_eq!(
+            entry.get("name").and_then(Json::as_str),
+            Some(name),
+            "fixture order drifted"
+        );
+        let descriptor = CellKey::descriptor(&spec, index).to_compact();
+        assert_eq!(
+            entry.get("descriptor").and_then(Json::as_str),
+            Some(descriptor.as_str()),
+            "{name}: canonical descriptor bytes moved — this re-keys every \
+             cache entry; bump the cellkey schema version instead"
+        );
+        let key = CellKey::of(&spec, index);
+        assert_eq!(
+            entry.get("key").and_then(Json::as_str),
+            Some(key.as_str()),
+            "{name}: key drifted from its pinned value"
+        );
+        // The fixture is self-consistent: the pinned key IS the SHA-256
+        // of the pinned descriptor bytes.
+        assert_eq!(key.as_str(), sha256_hex(descriptor.as_bytes()), "{name}");
+    }
+}
+
+/// The lifetime-run entry pins keyspace sharing: its descriptor must be
+/// byte-identical to the same (scheme, attack) cell of an attack
+/// matrix.
+#[test]
+fn golden_fixture_pins_attack_lifetime_sharing() {
+    let cells = fixture_cells();
+    let (_, attack_spec, attack_index) = &cells[0];
+    let (_, lifetime_spec, lifetime_index) = &cells[1];
+    assert_eq!(
+        CellKey::descriptor(attack_spec, *attack_index).to_compact(),
+        CellKey::descriptor(lifetime_spec, *lifetime_index).to_compact(),
+    );
+}

@@ -1,14 +1,29 @@
 //! `twl-ctl`: the client CLI for `twl-serviced`.
 //!
 //! ```text
-//! twl-ctl [--addr HOST:PORT] ping
-//! twl-ctl [--addr HOST:PORT] submit [spec flags] [--wait] [--format table|json]
-//! twl-ctl [--addr HOST:PORT] status [JOB_ID] [--format table|json]
-//! twl-ctl [--addr HOST:PORT] wait JOB_ID [--format table|json]
-//! twl-ctl [--addr HOST:PORT] cancel JOB_ID
-//! twl-ctl [--addr HOST:PORT] metrics [--lint]
-//! twl-ctl [--addr HOST:PORT] shutdown
+//! twl-ctl [connection flags] ping
+//! twl-ctl [connection flags] submit [spec flags] [--wait] [--format table|json]
+//! twl-ctl [connection flags] status [JOB_ID] [--format table|json]
+//! twl-ctl [connection flags] wait JOB_ID [--format table|json]
+//! twl-ctl [connection flags] cancel JOB_ID
+//! twl-ctl [connection flags] metrics [--lint]
+//! twl-ctl [connection flags] register-worker WORKER_ADDR
+//! twl-ctl [connection flags] shutdown
 //! ```
+//!
+//! Every command works unchanged against a `twl-coordinator` — the
+//! fleet daemon speaks the same `twl-wire/v1` protocol.
+//! `register-worker` joins a running `twl-serviced` to a coordinator's
+//! fleet (a plain daemon answers it with an explanatory error), and
+//! `ping` reports the advertised cell-slot count, which for a
+//! coordinator is the whole fleet's total.
+//!
+//! Connection flags: `--addr HOST:PORT`, `--connect-timeout-ms N`
+//! (default 10000), and `--timeout-ms N` (per-reply read deadline,
+//! default 30000; 0 disables either). The read deadline is lifted
+//! automatically while streaming a job with `wait` or `submit --wait`,
+//! so long simulations never trip it — it exists to keep the CLI from
+//! hanging on a dead daemon, coordinator, or network.
 //!
 //! Spec flags: `--kind K` (attack_matrix, workload_matrix,
 //! degradation_matrix, lifetime_run), `--pages N`, `--endurance N`,
@@ -42,8 +57,8 @@ use twl_lifetime::{
 };
 use twl_pcm::PcmConfig;
 
-const USAGE: &str =
-    "usage: twl-ctl [--addr HOST:PORT] <ping|submit|status|wait|cancel|metrics|shutdown> [...]
+const USAGE: &str = "usage: twl-ctl [--addr HOST:PORT] [--connect-timeout-ms N] [--timeout-ms N] \
+<ping|submit|status|wait|cancel|metrics|register-worker|shutdown> [...]
 run `twl-ctl` with no command for the full flag list";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -326,26 +341,57 @@ fn print_status(jobs: &[JobSnapshot], format: Format) {
     }
 }
 
+/// Turns a `--*-timeout-ms` value into a deadline; `0` disables it.
+fn parse_timeout(flag: &str, value: &str) -> Result<Option<std::time::Duration>, String> {
+    let ms: u64 = value.parse().map_err(|e| format!("bad {flag}: {e}"))?;
+    Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+}
+
 #[allow(clippy::too_many_lines)]
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut addr = addr_default();
+    let mut connect_timeout = Some(std::time::Duration::from_millis(10_000));
+    let mut read_timeout = Some(std::time::Duration::from_millis(30_000));
     let mut rest = args;
     while let [flag, value, tail @ ..] = rest {
-        if flag == "--addr" {
-            addr = value.clone();
-            rest = tail;
-        } else {
-            break;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--connect-timeout-ms" => {
+                connect_timeout = parse_timeout("--connect-timeout-ms", value)?;
+            }
+            "--timeout-ms" => read_timeout = parse_timeout("--timeout-ms", value)?,
+            _ => break,
         }
+        rest = tail;
     }
+    let connect = || {
+        Client::connect_with_timeouts(&addr, connect_timeout, read_timeout).map_err(|e| {
+            format!("cannot reach daemon at {addr}: {e} (connection flags tune the deadlines)")
+        })
+    };
     let [command, command_args @ ..] = rest else {
         return Err(USAGE.to_owned());
     };
 
     match command.as_str() {
         "ping" => {
-            let _ = Client::connect(&addr).map_err(|e| e.to_string())?;
-            println!("ok: daemon at {addr} speaks {}", twl_service::PROTOCOL);
+            let client = connect()?;
+            match client.slots() {
+                Some(slots) => println!(
+                    "ok: daemon at {addr} speaks {} ({slots} cell slots)",
+                    twl_service::PROTOCOL
+                ),
+                None => println!("ok: daemon at {addr} speaks {}", twl_service::PROTOCOL),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "register-worker" => {
+            let [worker] = command_args else {
+                return Err("register-worker needs exactly one WORKER_ADDR".to_owned());
+            };
+            let mut client = connect()?;
+            let (echoed, slots) = client.register_worker(worker).map_err(|e| e.to_string())?;
+            println!("registered worker {echoed} ({slots} slots)");
             Ok(ExitCode::SUCCESS)
         }
         "submit" => {
@@ -427,13 +473,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             let spec = flags.build()?;
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
             if retries > 1 {
                 let job_id = client
                     .submit_with_retry(&spec, retries)
                     .map_err(|e| e.to_string())?;
                 eprintln!("submitted job {job_id}");
                 if wait {
+                    client.set_read_timeout(None).map_err(|e| e.to_string())?;
                     let result = client
                         .wait(job_id, print_event)
                         .map_err(|e| e.to_string())?;
@@ -447,6 +494,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 SubmitOutcome::Accepted(job_id) => {
                     eprintln!("submitted job {job_id}");
                     if wait {
+                        client.set_read_timeout(None).map_err(|e| e.to_string())?;
                         let result = client
                             .wait(job_id, print_event)
                             .map_err(|e| e.to_string())?;
@@ -480,7 +528,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     );
                 }
             }
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
             let jobs = client.status(job_id).map_err(|e| e.to_string())?;
             print_status(&jobs, format);
             Ok(ExitCode::SUCCESS)
@@ -501,7 +549,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             }
             let job_id = job_id.ok_or("wait needs a JOB_ID")?;
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
+            client.set_read_timeout(None).map_err(|e| e.to_string())?;
             let result = client
                 .wait(job_id, print_event)
                 .map_err(|e| e.to_string())?;
@@ -515,7 +564,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let job_id = job_id
                 .parse()
                 .map_err(|e| format!("bad job id `{job_id}`: {e}"))?;
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
             let cancelled = client.cancel(job_id).map_err(|e| e.to_string())?;
             println!(
                 "{}",
@@ -535,7 +584,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     other => return Err(format!("unknown metrics flag {other}")),
                 }
             }
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
             let text = client.metrics().map_err(|e| e.to_string())?;
             if lint {
                 let samples = twl_telemetry::prom::parse_exposition(&text)
@@ -546,7 +595,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "shutdown" => {
-            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            let mut client = connect()?;
             client.shutdown().map_err(|e| e.to_string())?;
             println!("daemon draining");
             Ok(ExitCode::SUCCESS)

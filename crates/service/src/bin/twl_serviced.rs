@@ -3,7 +3,7 @@
 //! ```text
 //! twl-serviced [--addr HOST:PORT] [--queue-depth N] [--workers N]
 //!              [--checkpoint-dir DIR] [--checkpoint-interval-writes N]
-//!              [--trace-dir DIR] [--retry-after-ms N]
+//!              [--trace-dir DIR] [--retry-after-ms N] [--idle-timeout-ms N]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7781`; port 0 picks a free port.
@@ -18,6 +18,9 @@
 //!   daemon resumes interrupted jobs with bit-identical results.
 //! * `--trace-dir` routes each job's simulation telemetry into its own
 //!   `job-<id>.trace.jsonl` (inspect with `twl-stats`).
+//! * `--idle-timeout-ms` closes connections that sit idle between
+//!   requests (default 300000; 0 disables), so a stalled or half-open
+//!   peer cannot pin a connection thread indefinitely.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +29,8 @@ use twl_service::{Server, ServiceConfig};
 use twl_telemetry::RoutingJsonlSink;
 
 const USAGE: &str = "usage: twl-serviced [--addr HOST:PORT] [--queue-depth N] [--workers N] \
-[--checkpoint-dir DIR] [--checkpoint-interval-writes N] [--trace-dir DIR] [--retry-after-ms N]";
+[--checkpoint-dir DIR] [--checkpoint-interval-writes N] [--trace-dir DIR] [--retry-after-ms N] \
+[--idle-timeout-ms N]";
 
 fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<PathBuf>), String> {
     let mut config = ServiceConfig::default();
@@ -63,6 +67,11 @@ fn parse_args(args: &[String]) -> Result<(ServiceConfig, Option<PathBuf>), Strin
                 config.retry_after_ms = value("--retry-after-ms")?
                     .parse()
                     .map_err(|e| format!("bad --retry-after-ms: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --idle-timeout-ms: {e}"))?;
             }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }

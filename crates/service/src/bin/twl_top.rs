@@ -12,6 +12,12 @@
 //! `JobSnapshot` progress fields, shown blank until a job reports
 //! them).
 //!
+//! Pointed at a `twl-coordinator` (same protocol), the scrape carries
+//! the `twl_fleet_*` families and the dashboard adds a fleet section:
+//! cache hit ratio, in-flight/stolen/retried/failed cell counters, and
+//! one row per registered worker with its slots, in-flight cells,
+//! served total, and dispatch failures.
+//!
 //! `--once` renders a single frame without clearing the screen and
 //! exits — what the CI smoke job and scripts use. The default address
 //! is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
@@ -21,7 +27,7 @@ use std::time::Duration;
 
 use twl_service::wire::JobSnapshot;
 use twl_service::Client;
-use twl_telemetry::prom::{parse_exposition, scalar_samples};
+use twl_telemetry::prom::{parse_exposition, scalar_samples, PromSample};
 
 const USAGE: &str = "usage: twl-top [--addr HOST:PORT] [--interval SECS] [--once]";
 
@@ -36,19 +42,86 @@ struct DaemonStats {
     cancelled: f64,
 }
 
-fn scrape(client: &mut Client) -> Result<DaemonStats, String> {
+/// One registered worker's `twl_fleet_worker_*` row.
+#[derive(Debug)]
+struct FleetWorker {
+    addr: String,
+    slots: f64,
+    inflight: f64,
+    served: f64,
+    failures: f64,
+}
+
+/// Coordinator-only numbers; `None` when the scrape carries no
+/// `twl_fleet_*` families (a plain `twl-serviced`).
+#[derive(Debug)]
+struct FleetStats {
+    cache_hits: f64,
+    cache_misses: f64,
+    inflight: f64,
+    stolen: f64,
+    retried: f64,
+    failed: f64,
+    workers: Vec<FleetWorker>,
+}
+
+fn fleet_stats(samples: &[PromSample], flat: &impl Fn(&str) -> f64) -> Option<FleetStats> {
+    let mut workers: Vec<FleetWorker> = Vec::new();
+    for s in samples {
+        let Some(addr) = s.label("worker") else {
+            continue;
+        };
+        let i = match workers.iter().position(|w| w.addr == addr) {
+            Some(i) => i,
+            None => {
+                workers.push(FleetWorker {
+                    addr: addr.to_owned(),
+                    slots: 0.0,
+                    inflight: 0.0,
+                    served: 0.0,
+                    failures: 0.0,
+                });
+                workers.len() - 1
+            }
+        };
+        match s.name.as_str() {
+            "twl_fleet_worker_slots" => workers[i].slots = s.value,
+            "twl_fleet_worker_inflight" => workers[i].inflight = s.value,
+            "twl_fleet_worker_cells_served" => workers[i].served = s.value,
+            "twl_fleet_worker_failures" => workers[i].failures = s.value,
+            _ => {}
+        }
+    }
+    let any_fleet_counter = samples.iter().any(|s| s.name.starts_with("twl_fleet_"));
+    if workers.is_empty() && !any_fleet_counter {
+        return None;
+    }
+    Some(FleetStats {
+        cache_hits: flat("twl_fleet_cache_hits"),
+        cache_misses: flat("twl_fleet_cache_misses"),
+        inflight: flat("twl_fleet_cells_inflight"),
+        stolen: flat("twl_fleet_cells_stolen"),
+        retried: flat("twl_fleet_cells_retried"),
+        failed: flat("twl_fleet_cells_failed"),
+        workers,
+    })
+}
+
+fn scrape(client: &mut Client) -> Result<(DaemonStats, Option<FleetStats>), String> {
     let text = client.metrics().map_err(|e| e.to_string())?;
     let samples = parse_exposition(&text).map_err(|e| format!("bad metrics page: {e}"))?;
     let flat = scalar_samples(&samples);
     let get = |name: &str| flat.get(name).copied().unwrap_or(0.0);
-    Ok(DaemonStats {
+    let stats = DaemonStats {
         queue_depth: get("twl_service_queue_depth"),
         workers_busy: get("twl_service_workers_busy"),
         workers_total: get("twl_service_workers_total"),
         completed: get("twl_service_jobs_completed"),
         failed: get("twl_service_jobs_failed"),
         cancelled: get("twl_service_jobs_cancelled"),
-    })
+    };
+    let fleet = fleet_stats(&samples, &get);
+    Ok((stats, fleet))
 }
 
 fn progress_bar(done: u64, total: u64, width: usize) -> String {
@@ -88,9 +161,56 @@ fn job_row(job: &JobSnapshot) -> Vec<String> {
     ]
 }
 
-fn render_frame(addr: &str, stats: &DaemonStats, jobs: &[JobSnapshot]) -> String {
+fn render_fleet(fleet: &FleetStats) -> String {
+    let lookups = fleet.cache_hits + fleet.cache_misses;
+    let hit_ratio = if lookups > 0.0 {
+        format!("{:.1}%", 100.0 * fleet.cache_hits / lookups)
+    } else {
+        "n/a".to_owned()
+    };
     let mut out = format!(
-        "twl-serviced {addr} — queue depth {:.0}, workers {:.0}/{:.0} busy, \
+        "fleet — cache hit ratio {hit_ratio} ({:.0}/{:.0}), cells {:.0} in flight, \
+         {:.0} stolen / {:.0} retried / {:.0} failed\n",
+        fleet.cache_hits, lookups, fleet.inflight, fleet.stolen, fleet.retried, fleet.failed,
+    );
+    if fleet.workers.is_empty() {
+        out.push_str("no workers registered\n\n");
+        return out;
+    }
+    let rows: Vec<Vec<String>> = fleet
+        .workers
+        .iter()
+        .map(|w| {
+            vec![
+                w.addr.clone(),
+                format!("{:.0}", w.slots),
+                format!("{:.0}", w.inflight),
+                format!("{:.0}", w.served),
+                format!("{:.0}", w.failures),
+            ]
+        })
+        .collect();
+    out.push_str(&twl_bench::format_table(
+        &["worker", "slots", "inflight", "served", "failures"],
+        &rows,
+    ));
+    out.push('\n');
+    out
+}
+
+fn render_frame(
+    addr: &str,
+    stats: &DaemonStats,
+    fleet: Option<&FleetStats>,
+    jobs: &[JobSnapshot],
+) -> String {
+    let daemon = if fleet.is_some() {
+        "twl-coordinator"
+    } else {
+        "twl-serviced"
+    };
+    let mut out = format!(
+        "{daemon} {addr} — queue depth {:.0}, workers {:.0}/{:.0} busy, \
          jobs {:.0} completed / {:.0} failed / {:.0} cancelled\n\n",
         stats.queue_depth,
         stats.workers_busy,
@@ -99,6 +219,9 @@ fn render_frame(addr: &str, stats: &DaemonStats, jobs: &[JobSnapshot]) -> String
         stats.failed,
         stats.cancelled,
     );
+    if let Some(fleet) = fleet {
+        out.push_str(&render_fleet(fleet));
+    }
     if jobs.is_empty() {
         out.push_str("no jobs\n");
         return out;
@@ -116,8 +239,8 @@ fn render_frame(addr: &str, stats: &DaemonStats, jobs: &[JobSnapshot]) -> String
 fn poll(addr: &str) -> Result<String, String> {
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     let jobs = client.status(None).map_err(|e| e.to_string())?;
-    let stats = scrape(&mut client)?;
-    Ok(render_frame(addr, &stats, &jobs))
+    let (stats, fleet) = scrape(&mut client)?;
+    Ok(render_frame(addr, &stats, fleet.as_ref(), &jobs))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {

@@ -43,9 +43,11 @@ pub mod server;
 pub mod wire;
 
 pub use checkpoint::{Checkpoint, CheckpointDir, CHECKPOINT_SCHEMA};
-pub use client::{Client, ClientError, SubmitOutcome};
+pub use client::{CellOutcome, Client, ClientError, SubmitOutcome, BACKOFF_CAP_MS};
 pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use job::{decode_result, encode_result, JobKind, JobReports, JobSpec};
 pub use queue::{JobQueue, JobStatus, SubmitRejection};
-pub use server::{Server, ServiceConfig, EXIT_AFTER_CHECKPOINTS_ENV};
+pub use server::{
+    render_metrics_page, stream_job, Server, ServiceConfig, EXIT_AFTER_CHECKPOINTS_ENV,
+};
 pub use wire::{JobEvent, JobSnapshot, Request, Response, PROTOCOL};

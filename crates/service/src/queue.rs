@@ -576,6 +576,12 @@ impl JobQueue {
     pub fn is_shutting_down(&self) -> bool {
         self.lock().shutting_down
     }
+
+    /// The retry hint handed to rejected submitters.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> u64 {
+        self.retry_after_ms
+    }
 }
 
 #[cfg(test)]

@@ -17,10 +17,10 @@ use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use twl_lifetime::pool;
 use twl_telemetry::prom::{render_exposition, PromWriter};
@@ -54,6 +54,10 @@ pub struct ServiceConfig {
     pub checkpoint_interval_writes: u64,
     /// Retry hint handed to rejected submitters.
     pub retry_after_ms: u64,
+    /// How long a connection may sit idle between requests before the
+    /// daemon closes it (so a stalled or half-open peer cannot pin a
+    /// connection thread forever); 0 disables the timeout.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +69,7 @@ impl Default for ServiceConfig {
             checkpoint_dir: None,
             checkpoint_interval_writes: 50_000_000,
             retry_after_ms: 500,
+            idle_timeout_ms: 300_000,
         }
     }
 }
@@ -77,6 +82,7 @@ pub struct Server {
     checkpoints: Option<Arc<CheckpointDir>>,
     workers: usize,
     checkpoint_interval_writes: u64,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -118,6 +124,8 @@ impl Server {
             checkpoints,
             workers,
             checkpoint_interval_writes: config.checkpoint_interval_writes.max(1),
+            idle_timeout: (config.idle_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.idle_timeout_ms)),
         })
     }
 
@@ -154,6 +162,7 @@ impl Server {
             })
             .collect();
 
+        let remote_inflight = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
             if self.queue.is_shutting_down() {
                 break;
@@ -163,11 +172,20 @@ impl Server {
                 Err(_) => continue,
             };
             counter!("twl.service.connections").inc();
+            // An idle peer (including a half-open one that sent a
+            // partial frame and stalled) is cut loose after the idle
+            // timeout, costing that connection only.
+            if let Some(idle) = self.idle_timeout {
+                let _ = stream.set_read_timeout(Some(idle));
+            }
             let queue = Arc::clone(&self.queue);
             let checkpoints = self.checkpoints.clone();
-            thread::spawn(move || {
-                handle_connection(&stream, &queue, checkpoints.as_deref(), local_addr)
-            });
+            let ctx = ConnCtx {
+                slots: self.workers,
+                remote_inflight: Arc::clone(&remote_inflight),
+                local_addr,
+            };
+            thread::spawn(move || handle_connection(&stream, &queue, checkpoints.as_deref(), &ctx));
         }
 
         for handle in worker_handles {
@@ -341,8 +359,9 @@ fn execute_job(queue: &JobQueue, dir: Option<&CheckpointDir>, interval: u64, job
 
 /// Renders the full scrape page: the global registry (counters, gauges,
 /// histograms from every subsystem), then one gauge family per per-job
-/// progress dimension, labeled `job="<id>"`.
-fn render_metrics_page(queue: &JobQueue) -> String {
+/// progress dimension, labeled `job="<id>"`. Public so the fleet
+/// coordinator serves the identical page shape for its own jobs.
+pub fn render_metrics_page(queue: &JobQueue) -> String {
     let mut page = render_exposition(&twl_telemetry::global().snapshot());
     let jobs = queue.snapshot(None);
     if jobs.is_empty() {
@@ -406,12 +425,32 @@ fn send(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
     write_frame(&mut stream, &response.to_json())
 }
 
-/// Serves one connection until it closes or violates the protocol.
+/// Per-connection context shared by the accept loop.
+struct ConnCtx {
+    /// The daemon's worker-pool size, advertised in `hello_ok` and the
+    /// cap on concurrent `run_cell` executions.
+    slots: usize,
+    /// `run_cell` requests currently executing across all connections.
+    remote_inflight: Arc<AtomicUsize>,
+    local_addr: SocketAddr,
+}
+
+/// Whether an I/O error is a read-timeout expiry (the idle-connection
+/// deadline) rather than a real transport failure.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Serves one connection until it closes, violates the protocol, or
+/// sits idle past the configured timeout.
 fn handle_connection(
     stream: &TcpStream,
     queue: &JobQueue,
     checkpoints: Option<&CheckpointDir>,
-    local_addr: SocketAddr,
+    ctx: &ConnCtx,
 ) {
     let mut reader = stream;
     loop {
@@ -433,7 +472,18 @@ fn handle_connection(
                 );
                 return;
             }
-            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Io(e)) => {
+                if is_timeout(&e) {
+                    counter!("twl.service.idle_timeouts").inc();
+                    let _ = send(
+                        stream,
+                        &Response::Error {
+                            message: "idle timeout: closing connection".to_owned(),
+                        },
+                    );
+                }
+                return;
+            }
         };
         let request = match Request::from_json(&frame) {
             Ok(request) => request,
@@ -455,6 +505,7 @@ fn handle_connection(
                         stream,
                         &Response::HelloOk {
                             proto: PROTOCOL.to_owned(),
+                            slots: Some(ctx.slots as u64),
                         },
                     )
                     .is_err()
@@ -556,11 +607,27 @@ fn handle_connection(
                     return;
                 }
             }
+            Request::RunCell { spec, cell } => {
+                let response = run_remote_cell(ctx, queue, &spec, cell);
+                if send(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Request::RegisterWorker { .. } => {
+                // Not a protocol violation — a fleet-aware client probed
+                // a plain daemon; tell it so and keep serving.
+                let response = Response::Error {
+                    message: "register_worker is only served by a twl-coordinator".to_owned(),
+                };
+                if send(stream, &response).is_err() {
+                    return;
+                }
+            }
             Request::Shutdown => {
                 queue.begin_shutdown();
                 let _ = send(stream, &Response::ShutdownOk);
                 // Wake the accept loop so it observes the drain flag.
-                let _ = TcpStream::connect(local_addr);
+                let _ = TcpStream::connect(ctx.local_addr);
                 return;
             }
         }
@@ -568,8 +635,9 @@ fn handle_connection(
 }
 
 /// Streams one job's events and final frame. Returns `false` when the
-/// connection died mid-stream.
-fn stream_job(stream: &TcpStream, queue: &JobQueue, job_id: u64) -> bool {
+/// connection died mid-stream. Public so the fleet coordinator serves
+/// the identical stream shape for its own jobs.
+pub fn stream_job(stream: &TcpStream, queue: &JobQueue, job_id: u64) -> bool {
     let mut cursor = 0;
     loop {
         let Some((events, next_cursor, done)) = queue.next_events(job_id, cursor) else {
@@ -599,6 +667,61 @@ fn stream_job(stream: &TcpStream, queue: &JobQueue, job_id: u64) -> bool {
             };
             return send(stream, &final_frame).is_ok();
         }
+    }
+}
+
+/// Executes one `run_cell` request inline on the connection thread.
+/// Concurrency is capped at the worker-pool size across all
+/// connections, so a fleet coordinator cannot oversubscribe the daemon
+/// beyond the parallelism it advertised in `hello_ok`.
+fn run_remote_cell(
+    ctx: &ConnCtx,
+    queue: &JobQueue,
+    spec: &crate::job::JobSpec,
+    cell: u64,
+) -> Response {
+    if queue.is_shutting_down() {
+        return Response::Rejected {
+            reason: "daemon is shutting down".to_owned(),
+            retry_after_ms: queue.retry_after_ms(),
+        };
+    }
+    if let Err(message) = spec.validate() {
+        return Response::Error {
+            message: format!("invalid spec: {message}"),
+        };
+    }
+    let total = spec.cell_count() as u64;
+    if cell >= total {
+        return Response::Error {
+            message: format!("cell {cell} out of range (job has {total} cells)"),
+        };
+    }
+    let previous = ctx.remote_inflight.fetch_add(1, Ordering::SeqCst);
+    if previous >= ctx.slots {
+        ctx.remote_inflight.fetch_sub(1, Ordering::SeqCst);
+        counter!("twl.service.cells.rejected").inc();
+        return Response::Rejected {
+            reason: format!("all {} cell slots busy", ctx.slots),
+            retry_after_ms: queue.retry_after_ms(),
+        };
+    }
+    gauge!("twl.service.cells.inflight").add(1);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| spec.run_cell(cell as usize)));
+    gauge!("twl.service.cells.inflight").add(-1);
+    ctx.remote_inflight.fetch_sub(1, Ordering::SeqCst);
+    match outcome {
+        Ok((report, device_writes)) => {
+            counter!("twl.service.cells.served").inc();
+            Response::CellOk {
+                cell,
+                report,
+                device_writes,
+            }
+        }
+        Err(payload) => Response::Error {
+            message: format!("cell {cell} failed: {}", panic_message(payload.as_ref())),
+        },
     }
 }
 

@@ -74,6 +74,21 @@ pub enum Request {
     /// Fetch a Prometheus text-format snapshot of the daemon's metrics
     /// registry and per-job progress gauges.
     Metrics,
+    /// Execute exactly one matrix cell of `spec` and return its encoded
+    /// report — the fleet coordinator's worker interface. A plain
+    /// daemon serves it inline; saturation comes back as `rejected`.
+    RunCell {
+        /// The job the cell belongs to.
+        spec: JobSpec,
+        /// The cell index in matrix order.
+        cell: u64,
+    },
+    /// Add a worker daemon to the fleet (coordinator only). A plain
+    /// `twl-serviced` answers with an `error` frame and keeps serving.
+    RegisterWorker {
+        /// The worker's `host:port`.
+        addr: String,
+    },
     /// Drain in-flight jobs, persist queued ones, and exit.
     Shutdown,
 }
@@ -96,6 +111,14 @@ impl Request {
                 Json::obj([("type", str("cancel")), ("job_id", int(*job_id))])
             }
             Self::Metrics => Json::obj([("type", str("metrics"))]),
+            Self::RunCell { spec, cell } => Json::obj([
+                ("type", str("run_cell")),
+                ("spec", spec.to_json()),
+                ("cell", int(*cell)),
+            ]),
+            Self::RegisterWorker { addr } => {
+                Json::obj([("type", str("register_worker")), ("addr", str(addr))])
+            }
             Self::Shutdown => Json::obj([("type", str("shutdown"))]),
         }
     }
@@ -127,6 +150,13 @@ impl Request {
                 job_id: req_u64(v, "job_id")?,
             }),
             "metrics" => Ok(Self::Metrics),
+            "run_cell" => Ok(Self::RunCell {
+                spec: JobSpec::from_json(v.get("spec").ok_or("run_cell is missing `spec`")?)?,
+                cell: req_u64(v, "cell")?,
+            }),
+            "register_worker" => Ok(Self::RegisterWorker {
+                addr: req_str(v, "addr")?.to_owned(),
+            }),
             "shutdown" => Ok(Self::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
         }
@@ -297,6 +327,10 @@ pub enum Response {
     HelloOk {
         /// The protocol version the daemon speaks.
         proto: String,
+        /// Parallel `run_cell` executions the daemon will accept;
+        /// absent on frames from daemons that predate the fleet
+        /// protocol (treat as unknown, not zero).
+        slots: Option<u64>,
     },
     /// The job was queued.
     Submitted {
@@ -348,6 +382,22 @@ pub enum Response {
         /// The exposition page (text format v0.0.4).
         text: String,
     },
+    /// One cell finished (reply to `run_cell`).
+    CellOk {
+        /// The cell index that ran.
+        cell: u64,
+        /// The encoded report (`f64`s round-trip bit-exactly).
+        report: Json,
+        /// Device writes the cell absorbed.
+        device_writes: u64,
+    },
+    /// A worker joined the fleet (reply to `register_worker`).
+    WorkerOk {
+        /// The worker's `host:port` as registered.
+        addr: String,
+        /// The worker's advertised `run_cell` parallelism.
+        slots: u64,
+    },
     /// The daemon is draining and will exit.
     ShutdownOk,
     /// The request could not be served; the connection stays usable
@@ -363,8 +413,10 @@ impl Response {
     #[must_use]
     pub fn to_json(&self) -> Json {
         match self {
-            Self::HelloOk { proto } => {
-                Json::obj([("type", str("hello_ok")), ("proto", str(proto))])
+            Self::HelloOk { proto, slots } => {
+                let mut obj = Json::obj([("type", str("hello_ok")), ("proto", str(proto))]);
+                opt_insert(&mut obj, "slots", slots.map(int));
+                obj
             }
             Self::Submitted { job_id } => {
                 Json::obj([("type", str("submitted")), ("job_id", int(*job_id))])
@@ -407,6 +459,21 @@ impl Response {
             Self::MetricsOk { text } => {
                 Json::obj([("type", str("metrics_ok")), ("text", str(text))])
             }
+            Self::CellOk {
+                cell,
+                report,
+                device_writes,
+            } => Json::obj([
+                ("type", str("cell_ok")),
+                ("cell", int(*cell)),
+                ("report", report.clone()),
+                ("device_writes", int(*device_writes)),
+            ]),
+            Self::WorkerOk { addr, slots } => Json::obj([
+                ("type", str("worker_ok")),
+                ("addr", str(addr)),
+                ("slots", int(*slots)),
+            ]),
             Self::ShutdownOk => Json::obj([("type", str("shutdown_ok"))]),
             Self::Error { message } => {
                 Json::obj([("type", str("error")), ("message", str(message))])
@@ -423,6 +490,7 @@ impl Response {
         match req_str(v, "type")? {
             "hello_ok" => Ok(Self::HelloOk {
                 proto: req_str(v, "proto")?.to_owned(),
+                slots: opt_u64(v, "slots")?,
             }),
             "submitted" => Ok(Self::Submitted {
                 job_id: req_u64(v, "job_id")?,
@@ -465,6 +533,18 @@ impl Response {
             "metrics_ok" => Ok(Self::MetricsOk {
                 text: req_str(v, "text")?.to_owned(),
             }),
+            "cell_ok" => Ok(Self::CellOk {
+                cell: req_u64(v, "cell")?,
+                report: v
+                    .get("report")
+                    .ok_or("cell_ok frame missing `report`")?
+                    .clone(),
+                device_writes: req_u64(v, "device_writes")?,
+            }),
+            "worker_ok" => Ok(Self::WorkerOk {
+                addr: req_str(v, "addr")?.to_owned(),
+                slots: req_u64(v, "slots")?,
+            }),
             "shutdown_ok" => Ok(Self::ShutdownOk),
             "error" => Ok(Self::Error {
                 message: req_str(v, "message")?.to_owned(),
@@ -505,6 +585,13 @@ mod tests {
             Request::Stream { job_id: 5 },
             Request::Cancel { job_id: 5 },
             Request::Metrics,
+            Request::RunCell {
+                spec: spec(),
+                cell: 3,
+            },
+            Request::RegisterWorker {
+                addr: "127.0.0.1:7782".to_owned(),
+            },
             Request::Shutdown,
         ];
         for req in requests {
@@ -519,6 +606,20 @@ mod tests {
         let responses = [
             Response::HelloOk {
                 proto: PROTOCOL.to_owned(),
+                slots: None,
+            },
+            Response::HelloOk {
+                proto: PROTOCOL.to_owned(),
+                slots: Some(8),
+            },
+            Response::CellOk {
+                cell: 2,
+                report: Json::obj([("years", num(4.25))]),
+                device_writes: 123_456,
+            },
+            Response::WorkerOk {
+                addr: "127.0.0.1:7782".to_owned(),
+                slots: 8,
             },
             Response::Submitted { job_id: 1 },
             Response::Rejected {
@@ -634,6 +735,19 @@ mod tests {
         assert_eq!(snap.rate_wps, None);
         assert_eq!(snap.eta_ms, None);
         assert_eq!(snap.to_json().to_compact(), old_snapshot);
+
+        // A pre-fleet daemon's handshake has no `slots`; it decodes as
+        // unknown capacity and re-encodes without the key.
+        let old_hello = r#"{"proto":"twl-wire/v1","type":"hello_ok"}"#;
+        let hello = Response::from_json(&Json::parse(old_hello).unwrap()).unwrap();
+        assert_eq!(
+            hello,
+            Response::HelloOk {
+                proto: PROTOCOL.to_owned(),
+                slots: None,
+            }
+        );
+        assert_eq!(hello.to_json().to_compact(), old_hello);
     }
 
     #[test]

@@ -32,6 +32,11 @@ const PR4_CHECKPOINT: &str = include_str!("fixtures/pr4_checkpoint.json");
 /// `writes_done` / `rate_wps` / `eta_ms` fields present.
 const PR6_PROGRESS: &str = include_str!("fixtures/pr6_progress_frames.jsonl");
 
+/// Fleet-protocol frames as the PR-7 coordinator and workers exchange
+/// them: `run_cell` / `register_worker` requests and the `hello_ok`
+/// (with `slots`), `cell_ok`, and `worker_ok` responses.
+const PR7_FLEET: &str = include_str!("fixtures/pr7_fleet_frames.jsonl");
+
 #[test]
 fn pr4_job_specs_still_parse_and_reencode_byte_identically() {
     let spec = JobSpec::from_json(&Json::parse(PR4_SPEC.trim()).expect("fixture JSON"))
@@ -86,6 +91,60 @@ fn pr6_progress_frames_roundtrip_byte_identically() {
     assert_eq!(writes_done, Some(150_000_000));
     assert_eq!(rate_wps, Some(1_234_567.5));
     assert_eq!(eta_ms, Some(45_210));
+}
+
+#[test]
+fn pr7_fleet_frames_roundtrip_byte_identically() {
+    use twl_service::wire::{Request, Response};
+
+    for line in PR7_FLEET.lines().filter(|l| !l.trim().is_empty()) {
+        let v = Json::parse(line).expect("fixture JSON");
+        // Frames are a mix of requests and responses; every line must
+        // decode as exactly one of them and re-encode byte-for-byte.
+        let text = match Request::from_json(&v) {
+            Ok(req) => req.to_json().to_compact(),
+            Err(_) => Response::from_json(&v)
+                .expect("frame decodes as request or response")
+                .to_json()
+                .to_compact(),
+        };
+        assert_eq!(text, line);
+    }
+
+    // The load-bearing fields really decoded (not silently dropped).
+    let mut lines = PR7_FLEET.lines();
+    let Request::RunCell { spec, cell } =
+        Request::from_json(&Json::parse(lines.next().unwrap()).unwrap()).unwrap()
+    else {
+        panic!("first fixture line is not run_cell");
+    };
+    assert_eq!(cell, 0);
+    assert_eq!(spec.schemes[0].to_string(), "TWL_swp[ti=8]");
+
+    let hello = Response::from_json(&Json::parse(lines.nth(1).unwrap()).unwrap()).unwrap();
+    assert_eq!(
+        hello,
+        Response::HelloOk {
+            proto: "twl-wire/v1".to_owned(),
+            slots: Some(8),
+        }
+    );
+
+    let Response::CellOk {
+        cell,
+        report,
+        device_writes,
+    } = Response::from_json(&Json::parse(lines.next().unwrap()).unwrap()).unwrap()
+    else {
+        panic!("fourth fixture line is not cell_ok");
+    };
+    assert_eq!((cell, device_writes), (0, 123_456_789));
+    // The f64 payload survives the trip bit-exactly — the property the
+    // cache's bit-identical-replay guarantee rests on.
+    assert_eq!(
+        report.get("lifetime_years").and_then(Json::as_f64),
+        Some(4.256_789_012_345_678)
+    );
 }
 
 #[test]

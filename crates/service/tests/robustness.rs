@@ -33,6 +33,27 @@ fn shared_addr() -> &'static str {
     })
 }
 
+/// Binds a second in-process server with an aggressive idle timeout so
+/// the half-open-connection tests finish in milliseconds instead of the
+/// five-minute production default.
+fn short_idle_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            idle_timeout_ms: 250,
+            ..ServiceConfig::default()
+        };
+        let server = Server::bind(&config).expect("bind short-idle server");
+        let addr = server.local_addr().expect("local addr").to_string();
+        std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        addr
+    })
+}
+
 /// Writes raw bytes, half-closes, and drains whatever the server sends
 /// back before it drops the connection.
 fn poke(bytes: &[u8]) -> Vec<u8> {
@@ -103,6 +124,45 @@ fn valid_json_with_unknown_type_gets_a_protocol_error() {
     assert_still_serving();
 }
 
+#[test]
+fn half_open_connection_is_reaped_after_the_idle_timeout() {
+    use std::time::{Duration, Instant};
+
+    // A peer that completes the handshake and then goes silent — the
+    // classic half-open connection — must be closed by the daemon, not
+    // pin a connection thread forever.
+    let mut stream = TcpStream::connect(short_idle_addr()).expect("connect");
+    let hello = br#"{"proto":"twl-wire/v1","type":"hello"}"#;
+    let mut bytes = u32::try_from(hello.len()).unwrap().to_be_bytes().to_vec();
+    bytes.extend_from_slice(hello);
+    stream.write_all(&bytes).expect("send hello");
+
+    // Do NOT half-close: keep the write side open and just stop talking.
+    // The server must hang up on its own within the idle window.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    let start = Instant::now();
+    let mut reply = Vec::new();
+    stream
+        .read_to_end(&mut reply)
+        .expect("server closed the connection (EOF), not a client-side timeout");
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "server took {:?} to reap an idle connection",
+        start.elapsed()
+    );
+
+    // The reply holds the hello_ok plus a best-effort idle-timeout
+    // error frame; the error is advisory, so only check it when the
+    // bytes made it out before the close.
+    let frame = decode_reply(&reply).expect("hello_ok frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("hello_ok"));
+
+    let client = Client::connect(short_idle_addr());
+    assert!(client.is_ok(), "daemon stopped serving: {:?}", client.err());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -114,6 +174,39 @@ proptest! {
     ) {
         let _ = poke(&bytes);
         let client = Client::connect(shared_addr());
+        prop_assert!(client.is_ok(), "daemon stopped serving: {:?}", client.err());
+    }
+
+    /// Half-open connections parked mid-frame — any prefix of garbage,
+    /// never closed by the client — cost exactly that connection: the
+    /// idle timeout reaps each one and the daemon keeps serving.
+    #[test]
+    fn half_open_connections_only_cost_themselves(
+        bytes in proptest::collection::vec(any::<u8>(), 0..16)
+    ) {
+        use std::time::Duration;
+
+        let mut stream = TcpStream::connect(short_idle_addr()).expect("connect");
+        let _ = stream.write_all(&bytes);
+        // No shutdown, no further bytes: the connection idles mid-frame
+        // until the server's timeout reaps it.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set read timeout");
+        let mut reply = Vec::new();
+        // EOF is a graceful close; a reset means the server closed with
+        // our unread garbage still buffered. Both count as hanging up —
+        // only a client-side timeout would mean the connection leaked.
+        let hung_up = match stream.read_to_end(&mut reply) {
+            Ok(_) => true,
+            Err(e) => !matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+        };
+        prop_assert!(hung_up, "server never hung up within the client timeout");
+
+        let client = Client::connect(short_idle_addr());
         prop_assert!(client.is_ok(), "daemon stopped serving: {:?}", client.err());
     }
 }
