@@ -96,6 +96,13 @@ impl WearLeveler for AdaptiveSecurityRefresh {
         self.sr.translate(la)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // Same write machinery as the wrapped Security Refresh; rate
+        // boosts change *when* refreshes fire, not how many device
+        // writes one logical write can cause.
+        self.sr.write_batch_cap(wear_margin)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

@@ -3,14 +3,42 @@
 use serde::{Deserialize, Serialize};
 use twl_rng::SplitMix64;
 
-/// Hashes `value` with hash function number `i` into `[0, m)`.
+/// The full-width mix for hash function number `i` over `value`.
 ///
 /// Derives independent hash functions from SplitMix64 seeded with the
-/// (value, i) pair — cheap and adequate for Bloom use.
-fn bloom_hash(value: u64, i: u32, m: usize) -> usize {
+/// (value, i) pair — cheap and adequate for Bloom use. Filters of
+/// different sizes probing the same `(value, i)` share this mix and
+/// differ only in the final range reduction, which is what lets a
+/// membership filter and a counting filter fuse their probes.
+#[inline]
+fn bloom_mix(value: u64, i: u32) -> u64 {
     let mut sm = SplitMix64::seed_from(value ^ (u64::from(i) << 56) ^ 0xB10F_17E8);
-    (sm.next_u64() % m as u64) as usize
+    sm.next_u64()
 }
+
+/// Reduces a full-width mix into `[0, m)`.
+///
+/// For power-of-two `m` (every default configuration) the modulo is a
+/// mask — the same value, minus the 20-30 cycle division on the hot
+/// probe path.
+#[inline]
+fn bloom_reduce(mixed: u64, m: usize) -> usize {
+    let m = m as u64;
+    if m & (m - 1) == 0 {
+        (mixed & (m - 1)) as usize
+    } else {
+        (mixed % m) as usize
+    }
+}
+
+/// Hashes `value` with hash function number `i` into `[0, m)`.
+#[inline]
+fn bloom_hash(value: u64, i: u32, m: usize) -> usize {
+    bloom_reduce(bloom_mix(value, i), m)
+}
+
+/// Hash-index scratch for allocation-free k-probe operations.
+const MAX_INLINE_HASHES: usize = 16;
 
 /// A classic bit-vector Bloom filter: set membership with false
 /// positives, no false negatives.
@@ -48,6 +76,7 @@ impl BloomFilter {
     }
 
     /// Inserts a value.
+    #[inline]
     pub fn insert(&mut self, value: u64) {
         for i in 0..self.k {
             let h = bloom_hash(value, i, self.m);
@@ -56,12 +85,20 @@ impl BloomFilter {
     }
 
     /// Tests membership (may report false positives).
+    #[inline]
     #[must_use]
     pub fn contains(&self, value: u64) -> bool {
         (0..self.k).all(|i| {
             let h = bloom_hash(value, i, self.m);
             self.bits[h / 64] & (1u64 << (h % 64)) != 0
         })
+    }
+
+    /// Whether the bit for one already-mixed probe is set.
+    #[inline]
+    fn bit_for(&self, mixed: u64) -> bool {
+        let h = bloom_reduce(mixed, self.m);
+        self.bits[h / 64] & (1u64 << (h % 64)) != 0
     }
 
     /// Clears the filter.
@@ -139,13 +176,23 @@ impl CountingBloomFilter {
     /// estimate unchanged when `n == 0`.
     pub fn insert_n(&mut self, value: u64, n: u64) -> u64 {
         let m = self.counters.len();
-        let hs: Vec<usize> = (0..self.k).map(|i| bloom_hash(value, i, m)).collect();
+        let mut inline_buf = [0usize; MAX_INLINE_HASHES];
+        let mut spill_buf;
+        let hs: &mut [usize] = if self.k as usize <= MAX_INLINE_HASHES {
+            &mut inline_buf[..self.k as usize]
+        } else {
+            spill_buf = vec![0usize; self.k as usize];
+            &mut spill_buf
+        };
+        for (i, h) in hs.iter_mut().enumerate() {
+            *h = bloom_hash(value, i as u32, m);
+        }
         let min = u64::from(hs.iter().map(|&h| self.counters[h]).min().unwrap_or(0));
         if n == 0 {
             return min;
         }
         let level = min.saturating_add(n).min(u64::from(u32::MAX)) as u32;
-        for &h in &hs {
+        for &h in hs.iter() {
             if self.counters[h] < level {
                 self.counters[h] = level;
             }
@@ -154,6 +201,7 @@ impl CountingBloomFilter {
     }
 
     /// Estimated occurrence count (never an undercount).
+    #[inline]
     #[must_use]
     pub fn estimate(&self, value: u64) -> u64 {
         let m = self.counters.len();
@@ -163,6 +211,35 @@ impl CountingBloomFilter {
                 .min()
                 .unwrap_or(0),
         )
+    }
+
+    /// [`CountingBloomFilter::estimate`] for `value` when `written`
+    /// contains it, `None` otherwise — one fused probe.
+    ///
+    /// Exactly equivalent to
+    /// `written.contains(value).then(|| self.estimate(value))`, but the
+    /// per-hash mixing is shared between the two filters (the same
+    /// `(value, i)` mix feeds both range reductions) and the membership
+    /// test short-circuits identically, so a scan over the whole
+    /// logical space pays one mix per probe instead of two. Requires
+    /// both filters to use the same hash count; falls back to the two
+    /// independent probes otherwise.
+    #[must_use]
+    pub fn estimate_if_written(&self, written: &BloomFilter, value: u64) -> Option<u64> {
+        if self.k != written.k {
+            return written.contains(value).then(|| self.estimate(value));
+        }
+        let m = self.counters.len();
+        let mut min = u32::MAX;
+        for i in 0..self.k {
+            let mixed = bloom_mix(value, i);
+            if !written.bit_for(mixed) {
+                return None;
+            }
+            min = min.min(self.counters[bloom_reduce(mixed, m)]);
+        }
+        // k > 0 by construction, so `min` was always lowered at least once.
+        Some(u64::from(min))
     }
 
     /// Clears every counter (epoch boundary).
@@ -258,6 +335,49 @@ mod tests {
             }
             assert_eq!(got, want, "estimate for v={v} n={n}");
             assert_eq!(bulk, seq, "state after v={v} n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_probe_matches_independent_probes() {
+        let mut written = BloomFilter::new(2048, 4);
+        let mut cbf = CountingBloomFilter::new(512, 4);
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        for _ in 0..400 {
+            let v = rng.next_bounded(300);
+            written.insert(v);
+            cbf.insert(v);
+        }
+        for v in 0..600u64 {
+            let fused = cbf.estimate_if_written(&written, v);
+            let split = written.contains(v).then(|| cbf.estimate(v));
+            assert_eq!(fused, split, "value {v}");
+        }
+    }
+
+    #[test]
+    fn fused_probe_falls_back_on_mismatched_hash_counts() {
+        let mut written = BloomFilter::new(2048, 3);
+        let mut cbf = CountingBloomFilter::new(512, 4);
+        written.insert(9);
+        cbf.insert(9);
+        assert_eq!(cbf.estimate_if_written(&written, 9), Some(cbf.estimate(9)));
+        assert_eq!(cbf.estimate_if_written(&written, 10), None);
+    }
+
+    #[test]
+    fn hashing_handles_non_power_of_two_sizes() {
+        // The pow2 mask fast path must agree with the generic modulo:
+        // same (value, i) mixes, different reductions — exercise both.
+        let mut bf = BloomFilter::new(1000, 4);
+        let mut cbf = CountingBloomFilter::new(627, 3);
+        for v in 0..100u64 {
+            bf.insert(v * 31);
+            cbf.insert(v * 31);
+        }
+        for v in 0..100u64 {
+            assert!(bf.contains(v * 31));
+            assert!(cbf.estimate(v * 31) >= 1);
         }
     }
 

@@ -101,6 +101,100 @@ impl BwlConfig {
     }
 }
 
+/// Epoch-boundary scratch and the incrementally-maintained frame
+/// ranking, reused across epochs.
+///
+/// Everything here is re-derivable from the device and the filters, so
+/// it is never serialized, and a default (empty) scratch is always
+/// valid — the next epoch simply rebuilds the ranking in full.
+#[derive(Debug, Clone, Default)]
+struct EpochScratch {
+    /// Per-slot remaining endurance as of the last ranking.
+    prev_rem: Vec<u64>,
+    /// Fresh per-slot remaining endurance (scratch for the diff).
+    rem: Vec<u64>,
+    /// Managed frames ordered by (remaining desc, index asc).
+    frames: Vec<u32>,
+    /// Rank of every managed frame within `frames`.
+    frame_rank: Vec<u32>,
+    /// Changed frames re-keyed for the sorted merge.
+    dirty: Vec<(u64, u32)>,
+    /// Merge output, swapped with `frames`.
+    merge: Vec<u32>,
+    /// Bitmap of logical pages currently on the hot list.
+    hot_logical: Vec<bool>,
+    /// Free migration targets within a band.
+    free: Vec<u32>,
+}
+
+impl EpochScratch {
+    /// Rebuilds `frames`/`frame_rank` so the `n` managed frames are
+    /// ordered by (remaining endurance desc, index asc) — exactly the
+    /// order a stable descending-remaining sort over index-ordered
+    /// frames produces.
+    ///
+    /// The ranking is maintained incrementally: frames whose remaining
+    /// endurance is unchanged since the last call keep their relative
+    /// order (their sort keys are unchanged), so only the changed
+    /// frames are re-sorted (O(d log d)) and merged back in one pass
+    /// (O(n)). A narrow attack dirties a handful of frames per epoch;
+    /// a full O(n log n) rebuild happens only on the first call or
+    /// when a large fraction of the device changed.
+    fn rank(&mut self, device: &PcmDevice, n: usize) {
+        device.remaining_table(&mut self.rem);
+        let rem = &self.rem[..n];
+        let mut rebuild = self.prev_rem.is_empty();
+        if !rebuild {
+            let prev = &self.prev_rem[..n];
+            self.dirty.clear();
+            self.dirty.extend(
+                (0..n)
+                    .filter(|&pa| rem[pa] != prev[pa])
+                    .map(|pa| (rem[pa], pa as u32)),
+            );
+            rebuild = self.dirty.len() * 4 > n;
+        }
+        if rebuild {
+            self.frames.clear();
+            self.frames.extend(0..n as u32);
+            self.frames
+                .sort_unstable_by_key(|&pa| (std::cmp::Reverse(rem[pa as usize]), pa));
+        } else if !self.dirty.is_empty() {
+            self.dirty
+                .sort_unstable_by_key(|&(r, pa)| (std::cmp::Reverse(r), pa));
+            self.merge.clear();
+            let prev = &self.prev_rem[..n];
+            let mut di = 0;
+            for &pa in &self.frames {
+                if rem[pa as usize] != prev[pa as usize] {
+                    continue; // re-enters in key order via `dirty`
+                }
+                let key = (std::cmp::Reverse(rem[pa as usize]), pa);
+                while di < self.dirty.len() {
+                    let (dr, dpa) = self.dirty[di];
+                    if (std::cmp::Reverse(dr), dpa) < key {
+                        self.merge.push(dpa);
+                        di += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.merge.push(pa);
+            }
+            for &(_, dpa) in &self.dirty[di..] {
+                self.merge.push(dpa);
+            }
+            std::mem::swap(&mut self.frames, &mut self.merge);
+        }
+        std::mem::swap(&mut self.prev_rem, &mut self.rem);
+        self.frame_rank.clear();
+        self.frame_rank.resize(n, 0);
+        for (rank, &pa) in self.frames.iter().enumerate() {
+            self.frame_rank[pa as usize] = rank as u32;
+        }
+    }
+}
+
 /// Bloom-filter wear leveling (see the module docs above).
 #[derive(Debug, Clone)]
 pub struct BloomFilterWl {
@@ -129,6 +223,8 @@ pub struct BloomFilterWl {
     /// Cold-candidate count at the last epoch boundary (diagnostics).
     last_cold_len: usize,
     stats: WlStats,
+    /// Epoch-boundary scratch + incremental frame-rank cache.
+    scratch: EpochScratch,
 }
 
 impl BloomFilterWl {
@@ -159,6 +255,7 @@ impl BloomFilterWl {
             action_counts: (0, 0, 0),
             last_cold_len: 0,
             stats: WlStats::new(),
+            scratch: EpochScratch::default(),
         }
     }
 
@@ -226,18 +323,12 @@ impl BloomFilterWl {
         }
         self.hot_list.retain(|e| e.misses < 3);
 
-        // Rank frames by remaining life.
-        let mut frames: Vec<PhysicalPageAddr> =
-            (0..self.rt.len()).map(PhysicalPageAddr::new).collect();
-        frames.sort_by_key(|&pa| std::cmp::Reverse(device.remaining(pa)));
-
-        // Rank of every frame in the remaining-endurance order, for the
-        // half-space hysteresis below.
-        let mut frame_rank = vec![0usize; frames.len()];
-        for (rank, &pa) in frames.iter().enumerate() {
-            frame_rank[pa.as_usize()] = rank;
-        }
-        let half = frames.len() / 2;
+        // Rank frames by remaining life: (remaining desc, index asc),
+        // maintained incrementally across epochs (see
+        // `EpochScratch::rank`).
+        let pages = self.rt.len() as usize;
+        self.scratch.rank(device, pages);
+        let half = pages / 2;
 
         // Hot pages (sorted by estimated heat) into the strongest-frame
         // band. Hysteresis: a hot page already anywhere in the strong
@@ -245,20 +336,30 @@ impl BloomFilterWl {
         self.hot_list
             .sort_by_key(|e| (std::cmp::Reverse(e.estimate), e.la));
         let hot: Vec<LogicalPageAddr> = self.hot_list.iter().map(|e| e.la).collect();
+        self.scratch.hot_logical.clear();
+        self.scratch.hot_logical.resize(pages, false);
+        for &la in &hot {
+            self.scratch.hot_logical[la.as_usize()] = true;
+        }
         {
-            let band = &frames[..hot.len().min(half)];
-            let mut free: Vec<PhysicalPageAddr> = band
-                .iter()
-                .copied()
-                .filter(|&pa| !hot.contains(&self.rt.reverse(pa)))
-                .collect();
-            free.reverse(); // pop strongest first
+            let band = &self.scratch.frames[..hot.len().min(half)];
+            self.scratch.free.clear();
+            for &pa in band {
+                let resident = self.rt.reverse(PhysicalPageAddr::new(u64::from(pa)));
+                if !self.scratch.hot_logical[resident.as_usize()] {
+                    self.scratch.free.push(pa);
+                }
+            }
+            self.scratch.free.reverse(); // pop strongest first
             for &la in &hot {
                 let current = self.rt.translate(la);
-                if frame_rank[current.as_usize()] < half {
+                if self.scratch.frame_rank[current.as_usize()] < half as u32 {
                     continue;
                 }
-                let Some(target) = free.pop() else { break };
+                let Some(target) = self.scratch.free.pop() else {
+                    break;
+                };
+                let target = PhysicalPageAddr::new(u64::from(target));
                 device.write_page(current)?;
                 device.write_page(target)?;
                 self.rt.swap_physical(current, target);
@@ -273,22 +374,28 @@ impl BloomFilterWl {
         // well below the mean per-page write rate — these go onto the
         // weakest frames. (This cold→weak parking is exactly what the
         // inconsistent-write attacker farms.)
-        let cold_threshold = (self.config.epoch_writes / self.rt.len() / 2).max(2);
         let pages = self.rt.len();
+        let cold_threshold = (self.config.epoch_writes / pages / 2).max(2);
         let mut cold: Vec<(LogicalPageAddr, u64)> = Vec::new();
-        for step in 0..pages {
-            let la = LogicalPageAddr::new((self.cold_scan + step) % pages);
-            if !self.written.contains(la.index()) || hot.contains(&la) {
+        // Two contiguous ranges instead of a modulo per step; the scan
+        // still starts at the rotating pointer and covers every page.
+        // The membership test and the estimate share one fused filter
+        // probe (identical hash values, identical short-circuit).
+        for la in (self.cold_scan..pages).chain(0..self.cold_scan) {
+            if self.scratch.hot_logical[la as usize] {
                 continue;
             }
-            let est = self.cbf.estimate(la.index());
+            let Some(est) = self.cbf.estimate_if_written(&self.written, la) else {
+                continue;
+            };
             if est <= cold_threshold {
-                cold.push((la, est));
+                cold.push((LogicalPageAddr::new(la), est));
             }
         }
         // Coldest first, so the least-written page lands on the weakest
-        // frame.
-        cold.sort_by_key(|&(la, est)| (est, la));
+        // frame. (est, la) is a total order, so the unstable sort is
+        // deterministic.
+        cold.sort_unstable_by_key(|&(la, est)| (est, la));
         cold.truncate(self.config.max_tracked);
         self.last_cold_len = cold.len();
         // Only *deep*-cold pages (at most one observed write) are worth
@@ -312,24 +419,30 @@ impl BloomFilterWl {
         // *observed*-cold pages on the weakest frames (Fig. 1's
         // "vice versa").
         {
-            let band = &frames[frames.len() - deep_cold.len().max(1)..];
-            let mut free: Vec<PhysicalPageAddr> = band
-                .iter()
-                .copied()
-                .filter(|&pa| {
-                    let resident = self.rt.reverse(pa);
-                    !(self.written.contains(resident.index())
-                        && self.cbf.estimate(resident.index()) <= cold_threshold)
-                })
-                .collect();
-            let band_start_rank = frames.len() - band.len();
+            let frame_count = self.scratch.frames.len();
+            let band = &self.scratch.frames[frame_count - deep_cold.len().max(1)..];
+            self.scratch.free.clear();
+            for &pa in band {
+                let resident = self.rt.reverse(PhysicalPageAddr::new(u64::from(pa)));
+                let parked_cold = self
+                    .cbf
+                    .estimate_if_written(&self.written, resident.index())
+                    .is_some_and(|est| est <= cold_threshold);
+                if !parked_cold {
+                    self.scratch.free.push(pa);
+                }
+            }
+            let band_start_rank = (frame_count - band.len()) as u32;
             // band is sorted strongest-to-weakest; pop weakest first.
             for &la in &deep_cold {
                 let current = self.rt.translate(la);
-                if frame_rank[current.as_usize()] >= band_start_rank {
+                if self.scratch.frame_rank[current.as_usize()] >= band_start_rank {
                     continue;
                 }
-                let Some(target) = free.pop() else { break };
+                let Some(target) = self.scratch.free.pop() else {
+                    break;
+                };
+                let target = PhysicalPageAddr::new(u64::from(target));
                 device.write_page(current)?;
                 device.write_page(target)?;
                 self.rt.swap_physical(current, target);
@@ -348,29 +461,49 @@ impl BloomFilterWl {
         // the halfway mark and the band) — there is always someone
         // colder than a decisively-warm squatter out there.
         if self.config.band_repair {
+            let frame_count = self.scratch.frames.len();
             let band_size = cold
                 .len()
                 .max(self.config.max_tracked / 4)
-                .min(frames.len() / 4)
+                .min(frame_count / 4)
                 .max(1);
-            let band_start = frames.len() - band_size;
-            // Mid-zone residents, coldest last (so pop() yields them).
-            let mut replacements: Vec<(u64, PhysicalPageAddr)> = frames[half..band_start]
-                .iter()
-                .map(|&pa| (self.cbf.estimate(self.rt.reverse(pa).index()), pa))
-                .collect();
-            replacements.sort_by_key(|&(est, pa)| (std::cmp::Reverse(est), pa));
-            for &frame in frames[band_start..].iter().rev() {
+            let band_start = frame_count - band_size;
+            // Mid-zone replacements are only needed once a squatter is
+            // found, and most epochs have none — build them lazily so
+            // the common case skips thousands of filter estimates. The
+            // estimates are pure reads, so deferring them changes
+            // nothing observable.
+            let mut replacements: Option<Vec<(u64, PhysicalPageAddr)>> = None;
+            for &frame in self.scratch.frames[band_start..].iter().rev() {
+                let frame = PhysicalPageAddr::new(u64::from(frame));
                 let resident = self.rt.reverse(frame);
                 // Decisively warm only (2x the cold threshold): a
                 // parked cold page's Poisson flicker must not trigger
-                // repair churn on exactly the weakest frames.
-                let resident_est = self.cbf.estimate(resident.index());
-                let squatter =
-                    self.written.contains(resident.index()) && resident_est > 2 * cold_threshold;
-                if !squatter {
+                // repair churn on exactly the weakest frames. The
+                // membership test and estimate fuse into one probe.
+                let Some(resident_est) = self
+                    .cbf
+                    .estimate_if_written(&self.written, resident.index())
+                else {
+                    continue;
+                };
+                if resident_est <= 2 * cold_threshold {
                     continue;
                 }
+                let replacements = replacements.get_or_insert_with(|| {
+                    // Mid-zone residents, coldest last (so pop()
+                    // yields them). (est, pa) is a total order, so the
+                    // unstable sort is deterministic.
+                    let mut r: Vec<(u64, PhysicalPageAddr)> = self.scratch.frames[half..band_start]
+                        .iter()
+                        .map(|&pa| {
+                            let pa = PhysicalPageAddr::new(u64::from(pa));
+                            (self.cbf.estimate(self.rt.reverse(pa).index()), pa)
+                        })
+                        .collect();
+                    r.sort_unstable_by_key(|&(est, pa)| (std::cmp::Reverse(est), pa));
+                    r
+                });
                 // Only repair when the replacement is clearly colder,
                 // otherwise the swap would be churn.
                 let Some(&(est, from)) = replacements.last() else {
@@ -416,6 +549,20 @@ impl WearLeveler for BloomFilterWl {
 
     fn translate(&self, la: LogicalPageAddr) -> PhysicalPageAddr {
         self.rt.translate(la)
+    }
+
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // Strictly before the epoch boundary every logical write is a
+        // single device write, so the only unbounded wear source (the
+        // epoch migration burst) is excluded by stopping one write
+        // short of the boundary. A batch that includes the boundary
+        // write is capped at that single write, which is the same
+        // granularity the per-write reference loop observes.
+        let to_epoch = self.config.epoch_writes - self.epoch_write_count;
+        wear_margin
+            .saturating_sub(1)
+            .min(to_epoch.saturating_sub(1))
+            .max(1)
     }
 
     fn write(

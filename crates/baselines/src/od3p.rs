@@ -141,6 +141,13 @@ impl WearLeveler for OnDemandPagePairing {
         self.route(la)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // One request write plus (on a wear-out retry) a pairing
+        // migration and redirected write — well under eight device
+        // writes to any one frame per logical write.
+        (wear_margin.saturating_sub(1) / 8).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

@@ -336,6 +336,13 @@ impl WearLeveler for SecurityRefresh {
         self.map(la)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // One request write plus up to two refresh swap pairs (two
+        // levels) per logical write — at most five device writes total,
+        // so no single frame can gain more than eight per write.
+        (wear_margin.saturating_sub(1) / 8).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

@@ -179,6 +179,12 @@ impl WearLeveler for StartGap {
         PhysicalPageAddr::new(self.frame_of[la.as_usize()])
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // Worst case per logical write on any one frame: the request
+        // write plus the gap-rotation write landing on the same frame.
+        (wear_margin.saturating_sub(1) / 2).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

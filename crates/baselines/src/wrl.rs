@@ -183,6 +183,12 @@ impl WearLeveler for WearRateLeveling {
         self.rt.translate(la)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // One request write plus at most one leveling swap pair per
+        // logical write — at most three device writes to any one frame.
+        (wear_margin.saturating_sub(1) / 4).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

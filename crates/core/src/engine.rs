@@ -2,7 +2,7 @@
 
 use crate::{PairTable, TwlConfig};
 use twl_pcm::{EnduranceMap, LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
-use twl_rng::{SimRng, Xoshiro256StarStar};
+use twl_rng::{RngBuffer, SimRng, Xoshiro256StarStar};
 use twl_wl_core::{
     BatchOutcome, ReadOutcome, RemappingTable, WearLeveler, WlStats, WriteCounterTable,
     WriteOutcome,
@@ -79,7 +79,11 @@ pub struct TossUpWearLeveling {
     pairs: PairTable,
     /// Factory-tested endurance per physical page (the ET of Fig. 5).
     initial_endurance: Vec<u64>,
-    rng: Xoshiro256StarStar,
+    /// The event RNG behind a FIFO prefetch buffer: batch runs generate
+    /// their expected draws in one bulk pass, while the observed stream
+    /// stays draw-for-draw identical to the bare generator's — the
+    /// scalar and batched paths share one pinned sequence.
+    rng: RngBuffer<Xoshiro256StarStar>,
     global_writes: u64,
     toss_ups: u64,
     inter_pair_swaps: u64,
@@ -105,7 +109,7 @@ impl TossUpWearLeveling {
             wct: WriteCounterTable::new(n),
             pairs,
             initial_endurance: endurance.iter().map(|(_, e)| e).collect(),
-            rng: Xoshiro256StarStar::seed_from(config.rng_seed),
+            rng: RngBuffer::new(Xoshiro256StarStar::seed_from(config.rng_seed)),
             global_writes: 0,
             toss_ups: 0,
             inter_pair_swaps: 0,
@@ -262,6 +266,14 @@ impl WearLeveler for TossUpWearLeveling {
         self.rt.translate(la)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // Worst case on a single frame in one logical write: a naive
+        // toss migration landing on it, the request write it now hosts,
+        // and the first write of an inter-pair swap — three device
+        // writes; four is a safe ceiling.
+        (wear_margin.saturating_sub(1) / 4).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,
@@ -320,61 +332,260 @@ impl WearLeveler for TossUpWearLeveling {
 
     fn write_batch(&mut self, la: LogicalPageAddr, n: u64, device: &mut PcmDevice) -> BatchOutcome {
         let mut batch = BatchOutcome::default();
+        if n == 0 {
+            return batch;
+        }
+        let t = self.config.toss_up_interval;
+        let s = self.config.inter_pair_swap_interval;
+        let base = self.config.base_write_latency();
+        let rng_latency = self.config.rng_latency;
+        let optimized = self.config.optimized_swap;
+        let migrate = device.config().timing.migrate_latency();
+        let pages = self.rt.len();
+
+        // Statistics and metrics accumulate locally and flush once on
+        // every exit path below: the flushed totals are sums, so they
+        // are identical to per-write recording, without one atomic
+        // round-trip per event.
+        let mut acc = WlStats::new();
+        let mut toss_ups = 0u64;
+        let mut toss_swaps = 0u64;
+        let mut inter_swaps = 0u64;
+        // Deferred table bumps: the loop below never reads the WCT or
+        // the global counter (the countdowns carry that state), so both
+        // flush as one addition per batch. Plain-stretch statistics are
+        // all proportional to the stretch length and flush the same way.
+        let mut wct_delta = 0u64;
+        let mut global_delta = 0u64;
+        let mut plain_total = 0u64;
+        // A write's blocking cycles are always a small multiple of the
+        // migrate latency (1 for an optimized toss swap, 2 naive or
+        // inter-pair, up to 4 with both events on one write); counting
+        // per multiple lets the flush replay the exact samples into the
+        // histogram in O(1).
+        let mut blocked = [0u64; 5];
+
+        // Countdowns to the next event at this address: the toss-up
+        // fires on the write that brings the WCT count to a multiple of
+        // its interval (checked *before* the request write), the
+        // inter-pair swap on the write that brings the global count to a
+        // multiple of its interval (checked *after*). Every write
+        // strictly before both boundaries is a plain wear bump on the
+        // currently mapped frame with no RNG draw, so each stretch
+        // collapses to one bulk device write. The two divisions here are
+        // the only ones in the loop — decrements keep the countdowns
+        // live across iterations.
         let mut remaining = n;
-        while remaining > 0 {
-            // Distance to the next event at this address: the toss-up
-            // fires on the write that brings the WCT count to a multiple
-            // of its interval (checked *before* the request write), the
-            // inter-pair swap on the write that brings the global count
-            // to a multiple of its interval (checked *after*). Every
-            // write strictly before both boundaries is a plain wear bump
-            // on the currently mapped frame with no RNG draw, so the
-            // whole stretch collapses to one bulk device write.
-            let t = self.config.toss_up_interval;
-            let s = self.config.inter_pair_swap_interval;
-            let to_toss = t - self.wct.count(la) % t;
-            let to_swap = s - self.global_writes % s;
-            let plain = remaining.min(to_toss - 1).min(to_swap - 1);
-            if plain > 0 {
+        let mut to_toss = t - self.wct.count(la) % t;
+        let mut to_swap = s - self.global_writes % s;
+        // An event write whose request write has been deferred into the
+        // next bulk pass: after toss handling the engine always maps
+        // `la` to the frame the request (and the following event-free
+        // stretch) must hit, so both fuse into one `write_page_n`. The
+        // held outcome excludes the request write; the `usize` is its
+        // blocking-cycle multiple of the migrate latency.
+        let mut pending: Option<(WriteOutcome, usize)> = None;
+
+        'run: loop {
+            // One bulk pass covers the deferred request write (if any)
+            // plus every following write strictly before the next
+            // toss-up / inter-pair boundary — all plain wear bumps on
+            // the currently mapped frame with no RNG draw.
+            let stretch = remaining.min(to_toss - 1).min(to_swap - 1);
+            let lead = u64::from(pending.is_some());
+            if stretch + lead > 0 {
                 let pa = self.rt.translate(la);
-                let bulk = device.write_page_n(pa, plain);
-                self.wct.add(la, bulk.landed);
-                self.global_writes += bulk.landed;
-                if bulk.landed > 0 {
-                    let outcome = WriteOutcome {
+                let bulk = device.write_page_n(pa, stretch + lead);
+                let mut landed = bulk.landed;
+                if let Some((mut outcome, mult)) = pending.take() {
+                    if landed == 0 {
+                        // The deferred request write itself failed:
+                        // exactly as in the scalar path, the event's
+                        // outcome goes unrecorded (its migrations still
+                        // wore the device) and the bulk error is the
+                        // one the request write would have raised.
+                        batch.failure = bulk.failure;
+                        break 'run;
+                    }
+                    landed -= 1;
+                    outcome.device_writes += 1;
+                    global_delta += 1;
+                    acc.record_write(&outcome);
+                    if outcome.blocking_cycles > 0 {
+                        blocked[mult] += 1;
+                    }
+                    batch.serviced += 1;
+                    batch.last = Some(outcome);
+                }
+                wct_delta += landed;
+                global_delta += landed;
+                plain_total += landed;
+                if landed > 0 {
+                    batch.serviced += landed;
+                    batch.last = Some(WriteOutcome {
                         pa,
                         device_writes: 1,
                         swapped: false,
-                        engine_cycles: self.config.base_write_latency(),
+                        engine_cycles: base,
                         blocking_cycles: 0,
-                    };
-                    self.stats.record_write_n(&outcome, bulk.landed);
-                    self.metrics.writes.add(bulk.landed);
-                    batch.serviced += bulk.landed;
-                    batch.last = Some(outcome);
+                    });
                 }
                 if let Some(e) = bulk.failure {
                     batch.failure = Some(e);
-                    return batch;
+                    break 'run;
                 }
-                remaining -= plain;
-                if remaining == 0 {
-                    break;
-                }
+                remaining -= stretch;
+                to_toss -= stretch;
+                to_swap -= stretch;
             }
-            // The event write itself goes through the scalar path so the
-            // toss / inter-pair machinery (and its RNG draws) run
-            // exactly as in the per-write simulation.
-            match self.write(la, device) {
-                Ok(outcome) => {
-                    batch.serviced += 1;
-                    batch.last = Some(outcome);
-                    remaining -= 1;
+            if remaining == 0 {
+                break 'run;
+            }
+
+            // The event write, inlined from the scalar [`Self::write`]
+            // path: identical order of state updates, device writes and
+            // RNG draws, with stats and metrics folded into the batch
+            // accumulators (and, as in the scalar path, a write that
+            // fails mid-event leaves its own outcome unrecorded).
+            if self.rng.buffered() == 0 {
+                // Bulk-generate (a chunk of) the draws the rest of the
+                // batch is expected to consume: one per toss-up or
+                // inter-pair boundary. Lemire rejections can consume
+                // more; the buffer just refills when it runs dry.
+                let expect = (remaining / t + remaining / s).clamp(16, 1 << 16);
+                self.rng
+                    .prefetch(usize::try_from(expect).unwrap_or(usize::MAX));
+            }
+            wct_delta += 1;
+            remaining -= 1;
+            let mut pa = self.rt.translate(la);
+            let mut engine_cycles = base;
+            let mut device_writes = 0u32;
+            let mut blocking_cycles = 0u64;
+            let mut block_mult = 0usize;
+            let mut swapped = false;
+
+            if to_toss == 1 {
+                engine_cycles += rng_latency;
+                toss_ups += 1;
+                let partner = self.pairs.partner(pa);
+                let e_here = self.toss_endurance(pa, device);
+                let e_partner = self.toss_endurance(partner, device);
+                let den = e_here + e_partner;
+                let chosen = if den == 0 || self.rng.bernoulli_ratio(e_here, den) {
+                    pa
+                } else {
+                    partner
+                };
+                if chosen != pa {
+                    let migrated = if optimized {
+                        device_writes += 1;
+                        blocking_cycles += migrate;
+                        block_mult += 1;
+                        device.write_page(pa)
+                    } else {
+                        device_writes += 2;
+                        blocking_cycles += 2 * migrate;
+                        block_mult += 2;
+                        device
+                            .write_page(pa)
+                            .and_then(|()| device.write_page(chosen))
+                    };
+                    if let Err(e) = migrated {
+                        batch.failure = Some(e);
+                        break 'run;
+                    }
+                    self.rt.swap_physical(pa, chosen);
+                    toss_swaps += 1;
+                    swapped = true;
+                    pa = chosen;
                 }
-                Err(e) => {
+                to_toss = t;
+            } else {
+                to_toss -= 1;
+            }
+
+            if to_swap != 1 {
+                // No inter-pair boundary on this write: defer the
+                // request write into the next bulk pass (it lands on
+                // the frame `la` now maps to, first in line).
+                to_swap -= 1;
+                pending = Some((
+                    WriteOutcome {
+                        pa,
+                        device_writes,
+                        swapped,
+                        engine_cycles,
+                        blocking_cycles,
+                    },
+                    block_mult,
+                ));
+                continue 'run;
+            }
+
+            // Inter-pair boundary: the request write must land now so
+            // the swap that follows it observes the scalar write order.
+            if let Err(e) = device.write_page(pa) {
+                batch.failure = Some(e);
+                break 'run;
+            }
+            device_writes += 1;
+            global_delta += 1;
+
+            let target = PhysicalPageAddr::new(self.rng.next_bounded(pages));
+            if target != pa {
+                inter_swaps += 1;
+                device_writes += 2;
+                blocking_cycles += 2 * migrate;
+                block_mult += 2;
+                if let Err(e) = device
+                    .write_page(pa)
+                    .and_then(|()| device.write_page(target))
+                {
                     batch.failure = Some(e);
-                    return batch;
+                    break 'run;
                 }
+                self.rt.swap_physical(pa, target);
+                swapped = true;
+                pa = target;
+            }
+            to_swap = s;
+
+            let outcome = WriteOutcome {
+                pa,
+                device_writes,
+                swapped,
+                engine_cycles,
+                blocking_cycles,
+            };
+            acc.record_write(&outcome);
+            // `block_mult` is `blocking_cycles / migrate`, tracked by
+            // increments so the hot loop never divides.
+            if blocking_cycles > 0 {
+                blocked[block_mult] += 1;
+            }
+            batch.serviced += 1;
+            batch.last = Some(outcome);
+        }
+
+        self.wct.add(la, wct_delta);
+        self.global_writes += global_delta;
+        self.toss_ups += toss_ups;
+        self.inter_pair_swaps += inter_swaps;
+        // Every plain write is one device write at the base latency.
+        acc.logical_writes += plain_total;
+        acc.device_writes += plain_total;
+        acc.engine_cycles += plain_total * base;
+        self.stats.absorb(&acc);
+        self.metrics.writes.add(batch.serviced);
+        self.metrics.toss_ups.add(toss_ups);
+        self.metrics.toss_swaps.add(toss_swaps);
+        self.metrics.inter_pair_swaps.add(inter_swaps);
+        for (mult, &count) in blocked.iter().enumerate().skip(1) {
+            if count > 0 {
+                self.metrics
+                    .blocking_cycles
+                    .record_n(migrate * mult as u64, count);
             }
         }
         batch

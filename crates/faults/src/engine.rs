@@ -119,6 +119,17 @@ impl FaultEngine {
         self.dead[page.as_usize()]
     }
 
+    /// The pages the most recent [`FaultEngine::absorb`] drained from
+    /// the write log — including retirement copy-writes. May contain
+    /// duplicates; empty before the first absorb.
+    ///
+    /// [`crate::EventHorizon::observe`] uses this to refresh only the
+    /// pages whose wear can have moved.
+    #[must_use]
+    pub fn touched(&self) -> &[PhysicalPageAddr] {
+        &self.scratch
+    }
+
     /// Drains the device's write log and advances fault state for every
     /// touched page: newly-failed groups are corrected while the page's
     /// total stays within the policy budget; a page crossing the budget

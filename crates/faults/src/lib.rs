@@ -47,10 +47,12 @@
 
 mod config;
 mod engine;
+mod horizon;
 mod model;
 mod provision;
 
 pub use config::{CorrectionPolicy, FaultConfig};
 pub use engine::{AbsorbReport, FaultEngine, Retirement};
+pub use horizon::EventHorizon;
 pub use model::CellFaultModel;
 pub use provision::{provision, spare_pages_for, FaultDomain};

@@ -19,6 +19,11 @@
 //!   pages retire to spares, and the run ends at spare-pool exhaustion
 //!   with a full [`DegradationReport`] curve instead of a single
 //!   failure point.
+//! * [`run_attack_banked`] / [`run_workload_banked`] — one run split
+//!   into [`twl_pcm::PcmConfig::banks`] independent wear-leveling
+//!   domains fanned out on the worker pool and merged in bank order;
+//!   bit-identical for any worker count, so a single large cell scales
+//!   across cores without giving up determinism.
 //! * [`attack_matrix`] / [`workload_matrix`] / [`degradation_matrix`] —
 //!   scheme × attack / workload grids on the bounded worker pool of
 //!   [`pool`]; [`run_attack_cell`] and friends run one grid slot in
@@ -53,6 +58,7 @@
 //! # }
 //! ```
 
+mod banked;
 mod calibrate;
 pub mod pool;
 mod report;
@@ -60,6 +66,10 @@ mod scheme;
 mod sim;
 mod sweep;
 
+pub use banked::{
+    run_attack_banked, run_attack_banked_on, run_workload_banked, run_workload_banked_on,
+    BankedLifetimeReport,
+};
 pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
 pub use report::{DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
 pub use scheme::{
@@ -68,8 +78,9 @@ pub use scheme::{
     StartGapParams, TwlParams,
 };
 pub use sim::{
-    run_attack, run_attack_unbatched, run_degradation_attack, run_degradation_workload,
-    run_workload, run_workload_unbatched, SimLimits,
+    run_attack, run_attack_unbatched, run_degradation_attack, run_degradation_attack_unbatched,
+    run_degradation_workload, run_degradation_workload_unbatched, run_workload,
+    run_workload_unbatched, SimLimits,
 };
 pub use sweep::{
     attack_matrix, degradation_matrix, gmean_years, run_attack_cell, run_degradation_cell,

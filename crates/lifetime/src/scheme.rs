@@ -778,6 +778,10 @@ impl WearLeveler for Relabeled {
         self.inner.write_batch(la, n, device)
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        self.inner.write_batch_cap(wear_margin)
+    }
+
     fn read(&mut self, la: LogicalPageAddr, device: &PcmDevice) -> Result<ReadOutcome, PcmError> {
         self.inner.read(la, device)
     }

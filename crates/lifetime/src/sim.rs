@@ -298,6 +298,28 @@ pub fn run_degradation_attack(
     )
 }
 
+/// The per-write reference loop behind [`run_degradation_attack`] —
+/// same semantics, no batching: faults are absorbed after every single
+/// logical write. Kept as the equivalence oracle for the batched
+/// degradation path.
+pub fn run_degradation_attack_unbatched(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    attack: &mut dyn AttackStream,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    let workload_name = attack.name().to_owned();
+    drive_degraded_unbatched(
+        scheme,
+        domain,
+        WriteSource::Attack(attack),
+        &workload_name,
+        limits,
+        calibration,
+    )
+}
+
 /// Drives a synthetic workload against `scheme` on a fault-tolerant
 /// [`FaultDomain`] until the spare pool is exhausted (or the write
 /// budget runs out), recording the degradation curve.
@@ -321,18 +343,152 @@ pub fn run_degradation_workload(
     )
 }
 
-/// The shared graceful-degradation loop: the fault engine absorbs new
+/// The per-write reference loop behind [`run_degradation_workload`] —
+/// same semantics, no batching.
+pub fn run_degradation_workload_unbatched(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    workload: &mut SyntheticWorkload,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    drive_degraded_unbatched(
+        scheme,
+        domain,
+        WriteSource::Workload(workload),
+        workload_name,
+        limits,
+        calibration,
+    )
+}
+
+/// Bookkeeping shared by the batched and per-write degradation loops:
+/// the curve and the three milestone device-write counts, advanced by
+/// [`DegradedProgress::absorb_and_record`] so both loops observe fault
+/// events through literally the same code.
+struct DegradedProgress {
+    logical_writes: u64,
+    curve: Vec<DegradationPoint>,
+    first_fault: Option<u64>,
+    first_retirement: Option<u64>,
+    spare_exhausted: Option<u64>,
+    end: DegradationEnd,
+}
+
+impl DegradedProgress {
+    fn new() -> Self {
+        Self {
+            logical_writes: 0,
+            curve: Vec::new(),
+            first_fault: None,
+            first_retirement: None,
+            spare_exhausted: None,
+            end: DegradationEnd::WriteBudget,
+        }
+    }
+
+    /// Runs one fault absorption and folds its events into the
+    /// milestones and the curve. Returns `false` when the spare pool is
+    /// exhausted — the graceful-degradation end of life.
+    fn absorb_and_record(
+        &mut self,
+        engine: &mut twl_faults::FaultEngine,
+        device: &mut PcmDevice,
+        scheme_name: &str,
+        workload_name: &str,
+        total_pages: u64,
+        absorb_span: &mut twl_telemetry::AggregateSpan,
+    ) -> bool {
+        match absorb_span.time(|| engine.absorb(device)) {
+            Ok(absorbed) => {
+                if absorbed.corrected_now > 0 && self.first_fault.is_none() {
+                    self.first_fault = Some(device.total_writes());
+                }
+                if !absorbed.retirements.is_empty() {
+                    self.first_retirement.get_or_insert(device.total_writes());
+                    let point = DegradationPoint {
+                        logical_writes: self.logical_writes,
+                        device_writes: device.total_writes(),
+                        corrected_groups: engine.corrected_groups(),
+                        retired_pages: device.retired_pages(),
+                        spares_remaining: device.spares_remaining(),
+                    };
+                    self.curve.push(point);
+                    emit_degradation_point(scheme_name, workload_name, &point, total_pages);
+                }
+                true
+            }
+            Err(PcmError::SparesExhausted { .. }) => {
+                self.spare_exhausted = Some(device.total_writes());
+                self.end = DegradationEnd::SpareExhausted;
+                false
+            }
+            Err(e) => unreachable!("fault engine hit a non-spare device error: {e}"),
+        }
+    }
+
+    /// Closes the curve and assembles the report from the final device
+    /// and engine state.
+    fn finish(
+        mut self,
+        scheme_name: &str,
+        workload_name: &str,
+        domain: &FaultDomain,
+        calibration: &Calibration,
+    ) -> DegradationReport {
+        let device = &domain.device;
+        let engine = &domain.engine;
+        let total_pages = domain.data_pages + domain.spare_pages;
+        let final_point = DegradationPoint {
+            logical_writes: self.logical_writes,
+            device_writes: device.total_writes(),
+            corrected_groups: engine.corrected_groups(),
+            retired_pages: device.retired_pages(),
+            spares_remaining: device.spares_remaining(),
+        };
+        if self.curve.last() != Some(&final_point) {
+            self.curve.push(final_point);
+            emit_degradation_point(scheme_name, workload_name, &final_point, total_pages);
+        }
+        let capacity_fraction =
+            device.total_writes() as f64 / device.endurance_map().total() as f64;
+        DegradationReport {
+            scheme: scheme_name.to_owned(),
+            workload: workload_name.to_owned(),
+            data_pages: domain.data_pages,
+            spare_pages: domain.spare_pages,
+            logical_writes: self.logical_writes,
+            device_writes: device.total_writes(),
+            corrected_groups: engine.corrected_groups(),
+            retired_pages: device.retired_pages(),
+            first_fault_device_writes: self.first_fault,
+            first_retirement_device_writes: self.first_retirement,
+            spare_exhausted_device_writes: self.spare_exhausted,
+            end: self.end,
+            capacity_fraction,
+            years: calibration.years(capacity_fraction),
+            wear_gini: device.wear_stats().wear_gini,
+            curve: self.curve,
+        }
+    }
+}
+
+/// The batched graceful-degradation loop: the fault engine absorbs new
 /// cell faults after every serviced batch; each retirement appends a
 /// curve point (and a `degradation_point` trace record), and
 /// [`PcmError::SparesExhausted`] ends the run.
 ///
-/// Batching here trades fault-absorption granularity for speed: faults
-/// are derived from wear counters, so absorbing once per batch detects
-/// the same faults a per-write run would, only up to one batch of
-/// writes later. The batch cap below bounds that slack to a small
-/// fraction of the device's total endurance, keeping curve points and
-/// retirement ordering faithful — but unlike the fail-stop loop this
-/// path is *not* bit-identical to per-write simulation.
+/// Batching is exact here, not approximate: an
+/// [`twl_faults::EventHorizon`] tracks every page's wear-distance to
+/// its next *observable* fault event (the run's first corrected group,
+/// then each retirement threshold), and each batch is capped through
+/// [`WearLeveler::write_batch_cap`] so no page can cross an event
+/// mid-batch. Quiet stretches batch by the thousands; as a page
+/// approaches a threshold the cap shrinks to one, so the crossing write
+/// is absorbed at exactly the device-write count the per-write loop
+/// would observe. The result is bit-identical to
+/// [`drive_degraded_unbatched`] for the same seed.
 fn drive_degraded(
     scheme: &mut dyn WearLeveler,
     domain: &mut FaultDomain,
@@ -351,25 +507,19 @@ fn drive_degraded(
     let mut absorb_span = twl_telemetry::AggregateSpan::new("absorb", scheme.name());
     let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
     let mut feedback: Option<WriteOutcome> = None;
-    let mut logical_writes = 0u64;
-    let mut curve: Vec<DegradationPoint> = Vec::new();
-    let mut first_fault = None;
-    let mut first_retirement = None;
-    let mut spare_exhausted = None;
-    let mut end = DegradationEnd::WriteBudget;
-    // Absorb faults at least every ~0.1% of total endurance so no page
-    // overshoots its wear-out point by more than that before retiring.
-    let batch_cap = u64::try_from(device.endurance_map().total() / 1024)
-        .unwrap_or(u64::MAX)
-        .clamp(64, 4096);
-    while logical_writes < limits.max_logical_writes {
-        let budget = (limits.max_logical_writes - logical_writes).min(batch_cap);
+    let mut progress = DegradedProgress::new();
+    let mut horizon = twl_faults::EventHorizon::new(engine, device);
+    while progress.logical_writes < limits.max_logical_writes {
+        // The scheme translates the wear margin into the largest batch
+        // that cannot push any single page across it.
+        let cap = scheme.write_batch_cap(horizon.wear_margin()).max(1);
+        let budget = (limits.max_logical_writes - progress.logical_writes).min(cap);
         let (la, len) = source.next_run(feedback.as_ref(), budget);
         let len = len.clamp(1, budget);
         let device_writes_before = device.total_writes();
         let batch = scheme.write_batch(la, len, device);
         if batch.serviced > 0 {
-            logical_writes += batch.serviced;
+            progress.logical_writes += batch.serviced;
             telemetry.observe_batch(
                 la,
                 batch.serviced,
@@ -388,64 +538,64 @@ fn drive_degraded(
             "write_batch serviced {} of {len} writes without failing",
             batch.serviced
         );
-        match absorb_span.time(|| engine.absorb(device)) {
-            Ok(absorbed) => {
-                if absorbed.corrected_now > 0 && first_fault.is_none() {
-                    first_fault = Some(device.total_writes());
-                }
-                if !absorbed.retirements.is_empty() {
-                    first_retirement.get_or_insert(device.total_writes());
-                    let point = DegradationPoint {
-                        logical_writes,
-                        device_writes: device.total_writes(),
-                        corrected_groups: engine.corrected_groups(),
-                        retired_pages: device.retired_pages(),
-                        spares_remaining: device.spares_remaining(),
-                    };
-                    curve.push(point);
-                    emit_degradation_point(scheme.name(), workload_name, &point, total_pages);
-                }
+        if !progress.absorb_and_record(
+            engine,
+            device,
+            scheme.name(),
+            workload_name,
+            total_pages,
+            &mut absorb_span,
+        ) {
+            break;
+        }
+        horizon.observe(engine, device);
+    }
+    telemetry.end(device);
+    progress.finish(scheme.name(), workload_name, domain, calibration)
+}
+
+/// The per-write graceful-degradation loop: the pre-batching reference
+/// semantics, absorbing faults after every single logical write. The
+/// equivalence oracle for [`drive_degraded`].
+fn drive_degraded_unbatched(
+    scheme: &mut dyn WearLeveler,
+    domain: &mut FaultDomain,
+    mut source: WriteSource<'_>,
+    workload_name: &str,
+    limits: &SimLimits,
+    calibration: &Calibration,
+) -> DegradationReport {
+    let device = &mut domain.device;
+    let engine = &mut domain.engine;
+    let total_pages = domain.data_pages + domain.spare_pages;
+    let _span = twl_telemetry::span!("drive_degraded_unbatched", scheme.name());
+    let mut absorb_span = twl_telemetry::AggregateSpan::new("absorb", scheme.name());
+    let mut telemetry = RunTelemetry::begin(scheme, device, workload_name);
+    let mut feedback: Option<WriteOutcome> = None;
+    let mut progress = DegradedProgress::new();
+    while progress.logical_writes < limits.max_logical_writes {
+        let la = source.next_write(feedback.as_ref());
+        match scheme.write(la, device) {
+            Ok(out) => {
+                progress.logical_writes += 1;
+                telemetry.observe(la, &out, device);
+                feedback = Some(out);
             }
-            Err(PcmError::SparesExhausted { .. }) => {
-                spare_exhausted = Some(device.total_writes());
-                end = DegradationEnd::SpareExhausted;
-                break;
-            }
-            Err(e) => unreachable!("fault engine hit a non-spare device error: {e}"),
+            Err(e) => unreachable!("degradation sim hit a device error: {e}"),
+        }
+        if !progress.absorb_and_record(
+            engine,
+            device,
+            scheme.name(),
+            workload_name,
+            total_pages,
+            &mut absorb_span,
+        ) {
+            break;
         }
     }
     telemetry.end(device);
-    // Close the curve with the state at the end of the run.
-    let final_point = DegradationPoint {
-        logical_writes,
-        device_writes: device.total_writes(),
-        corrected_groups: engine.corrected_groups(),
-        retired_pages: device.retired_pages(),
-        spares_remaining: device.spares_remaining(),
-    };
-    if curve.last() != Some(&final_point) {
-        curve.push(final_point);
-        emit_degradation_point(scheme.name(), workload_name, &final_point, total_pages);
-    }
-    let capacity_fraction = device.total_writes() as f64 / device.endurance_map().total() as f64;
-    DegradationReport {
-        scheme: scheme.name().to_owned(),
-        workload: workload_name.to_owned(),
-        data_pages: domain.data_pages,
-        spare_pages: domain.spare_pages,
-        logical_writes,
-        device_writes: device.total_writes(),
-        corrected_groups: engine.corrected_groups(),
-        retired_pages: device.retired_pages(),
-        first_fault_device_writes: first_fault,
-        first_retirement_device_writes: first_retirement,
-        spare_exhausted_device_writes: spare_exhausted,
-        end,
-        capacity_fraction,
-        years: calibration.years(capacity_fraction),
-        wear_gini: device.wear_stats().wear_gini,
-        curve,
-    }
+    progress.finish(scheme.name(), workload_name, domain, calibration)
 }
 
 fn emit_degradation_point(

@@ -130,9 +130,12 @@ pub struct PcmDevice {
     first_failure: Option<PhysicalPageAddr>,
     policy: WearPolicy,
     /// Slot → physical page. Identity until retirements rebind slots.
-    forward: Vec<u64>,
+    /// Held as `u32` so the hot translate step touches half the cache
+    /// lines; snapshots widen to `u64` to keep the serialized form
+    /// byte-identical across the narrowing.
+    forward: Vec<u32>,
     /// Physical page → owning slot (inverse of `forward` on live pages).
-    back: Vec<u64>,
+    back: Vec<u32>,
     /// Physical pages permanently taken out of service.
     retired: Vec<bool>,
     /// Physical pages reserved as replacements, popped from the end.
@@ -163,6 +166,10 @@ impl PcmDevice {
             config.pages,
             "endurance map size must match page count"
         );
+        assert!(
+            config.pages <= u64::from(u32::MAX),
+            "slot maps index pages with u32"
+        );
         let pages = endurance.len();
         Self {
             config: config.clone(),
@@ -171,8 +178,8 @@ impl PcmDevice {
             total_writes: 0,
             first_failure: None,
             policy: WearPolicy::FailStop,
-            forward: (0..pages as u64).collect(),
-            back: (0..pages as u64).collect(),
+            forward: (0..pages as u32).collect(),
+            back: (0..pages as u32).collect(),
             retired: vec![false; pages],
             spares: Vec::new(),
             retired_count: 0,
@@ -280,9 +287,10 @@ impl PcmDevice {
     /// # Panics
     ///
     /// Panics if `slot` is out of range.
+    #[inline]
     #[must_use]
     pub fn resolve(&self, slot: PhysicalPageAddr) -> PhysicalPageAddr {
-        PhysicalPageAddr::new(self.forward[slot.as_usize()])
+        PhysicalPageAddr::new(u64::from(self.forward[slot.as_usize()]))
     }
 
     /// The slot a live physical page currently serves.
@@ -290,9 +298,10 @@ impl PcmDevice {
     /// # Panics
     ///
     /// Panics if `phys` is out of range.
+    #[inline]
     #[must_use]
     pub fn owner_of(&self, phys: PhysicalPageAddr) -> PhysicalPageAddr {
-        PhysicalPageAddr::new(self.back[phys.as_usize()])
+        PhysicalPageAddr::new(u64::from(self.back[phys.as_usize()]))
     }
 
     /// Retires the physical page currently backing `slot` and rebinds
@@ -316,8 +325,8 @@ impl PcmDevice {
         let old = self.forward[slot.as_usize()] as usize;
         self.retired[old] = true;
         self.retired_count += 1;
-        self.forward[slot.as_usize()] = spare;
-        self.back[spare as usize] = slot.index();
+        self.forward[slot.as_usize()] = spare as u32;
+        self.back[spare as usize] = slot.index() as u32;
         // Migrate the slot's contents onto the replacement.
         self.account_write(spare as usize);
         Ok(PhysicalPageAddr::new(spare))
@@ -329,6 +338,7 @@ impl PcmDevice {
     ///
     /// Returns [`PcmError::AddrOutOfRange`] if `addr` is past the end of
     /// the device.
+    #[inline]
     pub fn check_addr(&self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
         if addr.index() < self.config.pages {
             Ok(())
@@ -340,6 +350,7 @@ impl PcmDevice {
         }
     }
 
+    #[inline]
     fn account_write(&mut self, phys: usize) {
         self.wear[phys] += 1;
         self.total_writes += 1;
@@ -357,6 +368,7 @@ impl PcmDevice {
     ///   the backing page's endurance is already exhausted. The first
     ///   failure is latched and reported by [`PcmDevice::first_failure`].
     ///   Under [`WearPolicy::Unlimited`] writes never fail this way.
+    #[inline]
     pub fn write_page(&mut self, addr: PhysicalPageAddr) -> Result<(), PcmError> {
         self.check_addr(addr)?;
         let phys = self.forward[addr.as_usize()] as usize;
@@ -438,6 +450,7 @@ impl PcmDevice {
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
+    #[inline]
     #[must_use]
     pub fn wear(&self, addr: PhysicalPageAddr) -> u64 {
         self.wear[self.forward[addr.as_usize()] as usize]
@@ -448,6 +461,7 @@ impl PcmDevice {
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
+    #[inline]
     #[must_use]
     pub fn endurance(&self, addr: PhysicalPageAddr) -> u64 {
         self.endurance.endurance(self.resolve(addr))
@@ -459,9 +473,28 @@ impl PcmDevice {
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
+    #[inline]
     #[must_use]
     pub fn remaining(&self, addr: PhysicalPageAddr) -> u64 {
         self.endurance(addr).saturating_sub(self.wear(addr))
+    }
+
+    /// Fills `out` (reusing its allocation) with the remaining
+    /// endurance of every slot, in slot order — `out[s]` equals
+    /// `self.remaining(s)`.
+    ///
+    /// One fused pass over the flat slot/wear/endurance tables; schemes
+    /// that rank all frames at an epoch boundary use this instead of
+    /// per-frame [`PcmDevice::remaining`] calls, which would re-resolve
+    /// the slot indirection on every comparison.
+    pub fn remaining_table(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.forward.len());
+        let endurance = self.endurance.values();
+        out.extend(self.forward.iter().map(|&phys| {
+            let p = phys as usize;
+            endurance[p].saturating_sub(self.wear[p])
+        }));
     }
 
     /// Whether the page backing `addr` has exhausted its tested
@@ -536,8 +569,8 @@ impl PcmDevice {
             total_writes: self.total_writes,
             first_failure: self.first_failure,
             policy: self.policy,
-            forward: self.forward.clone(),
-            back: self.back.clone(),
+            forward: self.forward.iter().map(|&v| u64::from(v)).collect(),
+            back: self.back.iter().map(|&v| u64::from(v)).collect(),
             retired: self.retired.clone(),
             spares: self.spares.clone(),
             retired_count: self.retired_count,
@@ -577,6 +610,11 @@ impl PcmDevice {
                 }
             }
         }
+        if snapshot.config.pages > u64::from(u32::MAX) {
+            return Err(PcmError::InvalidConfig(
+                "slot maps index pages with u32".into(),
+            ));
+        }
         for (slot, &phys) in snapshot.forward.iter().enumerate() {
             if phys as usize >= pages {
                 return Err(PcmError::InvalidConfig(
@@ -592,6 +630,13 @@ impl PcmDevice {
                 ));
             }
         }
+        for &slot in &snapshot.back {
+            if slot as usize >= pages {
+                return Err(PcmError::InvalidConfig(
+                    "snapshot slot map points outside the device".into(),
+                ));
+            }
+        }
         Ok(Self {
             config: snapshot.config,
             endurance: snapshot.endurance,
@@ -599,8 +644,8 @@ impl PcmDevice {
             total_writes: snapshot.total_writes,
             first_failure: snapshot.first_failure,
             policy: snapshot.policy,
-            forward: snapshot.forward,
-            back: snapshot.back,
+            forward: snapshot.forward.iter().map(|&v| v as u32).collect(),
+            back: snapshot.back.iter().map(|&v| v as u32).collect(),
             retired: snapshot.retired,
             spares: snapshot.spares,
             retired_count: snapshot.retired_count,

@@ -81,6 +81,7 @@ impl EnduranceMap {
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
+    #[inline]
     #[must_use]
     pub fn endurance(&self, addr: PhysicalPageAddr) -> u64 {
         self.values[addr.as_usize()]
@@ -119,6 +120,7 @@ impl EnduranceMap {
     }
 
     /// The raw per-page endurance values, indexed by physical page.
+    #[inline]
     #[must_use]
     pub fn values(&self) -> &[u64] {
         &self.values

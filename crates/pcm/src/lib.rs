@@ -46,5 +46,5 @@ pub use dcw::{DcwModel, BENIGN_BIT_FLIP_FRACTION};
 pub use device::{BulkWrite, DeviceSnapshot, PcmDevice, WearPolicy};
 pub use endurance::EnduranceMap;
 pub use error::PcmError;
-pub use stats::WearStats;
+pub use stats::{wear_gini, WearStats};
 pub use timing::PcmTiming;

@@ -70,7 +70,7 @@ impl WearStats {
             max_wear,
             max_wear_ratio: max_ratio,
             mean_wear_ratio: sum_ratio / n,
-            wear_gini: gini(wear),
+            wear_gini: wear_gini(wear),
             capacity_consumed: total_writes as f64 / endurance.total() as f64,
         }
     }
@@ -78,7 +78,19 @@ impl WearStats {
 
 /// Gini coefficient of a non-negative sample (0 = all equal, →1 = all
 /// mass on one element).
-fn gini(values: &[u64]) -> f64 {
+///
+/// Exposed so multi-device aggregations (the banked lifetime runner)
+/// can compute one coefficient over concatenated wear maps instead of
+/// averaging per-device Ginis, which would not be the same statistic.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(twl_pcm::wear_gini(&[5, 5, 5, 5]), 0.0);
+/// assert!(twl_pcm::wear_gini(&[0, 0, 0, 100]) > 0.7);
+/// ```
+#[must_use]
+pub fn wear_gini(values: &[u64]) -> f64 {
     let n = values.len();
     let total: u128 = values.iter().map(|&v| u128::from(v)).sum();
     if total == 0 || n < 2 {

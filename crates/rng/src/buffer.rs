@@ -1,0 +1,134 @@
+//! A FIFO prefetch buffer over a simulation generator.
+//!
+//! Event-dense batch loops want their randomness generated in one bulk
+//! pass ([`SimRng::fill_u64`]) instead of one state update per event,
+//! but the simulator's bit-identity contracts pin the *scalar* draw
+//! order. [`RngBuffer`] reconciles the two: values are pre-generated in
+//! stream order and handed out first-in-first-out, so any interleaving
+//! of buffered and on-demand consumption observes exactly the inner
+//! generator's sequence — a consumer cannot tell whether a value came
+//! from the buffer or from a live draw.
+
+use crate::SimRng;
+
+/// A FIFO refill buffer over an inner generator.
+///
+/// [`SimRng::next_u64`] pops pre-generated values while any are
+/// buffered and falls through to the inner generator otherwise, so the
+/// observed stream is always the inner generator's, draw for draw.
+/// Call [`RngBuffer::prefetch`] before an event-dense stretch to
+/// amortize generation into one bulk pass; leftover values simply serve
+/// later draws.
+///
+/// # Examples
+///
+/// ```
+/// use twl_rng::{RngBuffer, SimRng, Xoshiro256StarStar};
+///
+/// let mut plain = Xoshiro256StarStar::seed_from(7);
+/// let mut buffered = RngBuffer::new(Xoshiro256StarStar::seed_from(7));
+/// buffered.prefetch(3); // covers only some of the draws below
+/// for _ in 0..8 {
+///     assert_eq!(buffered.next_u64(), plain.next_u64());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngBuffer<R> {
+    inner: R,
+    buf: Vec<u64>,
+    pos: usize,
+}
+
+impl<R: SimRng> RngBuffer<R> {
+    /// Wraps `inner` with an (initially empty) buffer.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Ensures at least `n` values are buffered, generating the
+    /// shortfall from the inner stream in one bulk pass.
+    pub fn prefetch(&mut self, n: usize) {
+        let have = self.buf.len() - self.pos;
+        if have >= n {
+            return;
+        }
+        // Compact the consumed prefix, then bulk-generate the rest.
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        let start = self.buf.len();
+        self.buf.resize(n, 0);
+        self.inner.fill_u64(&mut self.buf[start..]);
+    }
+
+    /// Values currently buffered and not yet consumed.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read-only access to the inner generator's state.
+    ///
+    /// Note the inner generator sits `buffered()` draws *ahead* of the
+    /// observed stream while values remain buffered.
+    #[must_use]
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: SimRng> SimRng for RngBuffer<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos < self.buf.len() {
+            let v = self.buf[self.pos];
+            self.pos += 1;
+            v
+        } else {
+            self.inner.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SplitMix64, Xoshiro256StarStar};
+
+    #[test]
+    fn buffered_stream_matches_plain_stream() {
+        let mut plain = Xoshiro256StarStar::seed_from(42);
+        let mut buffered = RngBuffer::new(Xoshiro256StarStar::seed_from(42));
+        // Interleave prefetches of assorted sizes with draws; the
+        // observed stream must stay draw-for-draw identical.
+        for (i, &pre) in [0usize, 5, 1, 16, 0, 3, 64, 2].iter().enumerate() {
+            buffered.prefetch(pre);
+            for _ in 0..=(i * 3) {
+                assert_eq!(buffered.next_u64(), plain.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_is_idempotent_when_enough_is_buffered() {
+        let mut buffered = RngBuffer::new(SplitMix64::seed_from(1));
+        buffered.prefetch(8);
+        let inner_before = *buffered.inner();
+        buffered.prefetch(4);
+        assert_eq!(*buffered.inner(), inner_before);
+        assert_eq!(buffered.buffered(), 8);
+    }
+
+    #[test]
+    fn bounded_draws_match_through_the_buffer() {
+        let mut plain = Xoshiro256StarStar::seed_from(9);
+        let mut buffered = RngBuffer::new(Xoshiro256StarStar::seed_from(9));
+        buffered.prefetch(32);
+        for bound in [3u64, 10, 7, 1 << 40, 2, 100] {
+            assert_eq!(buffered.next_bounded(bound), plain.next_bounded(bound));
+        }
+    }
+}

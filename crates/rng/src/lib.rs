@@ -31,11 +31,13 @@
 //! assert_eq!(a, rng2.next_u64());
 //! ```
 
+mod buffer;
 mod feistel;
 mod gauss;
 mod splitmix;
 mod xoshiro;
 
+pub use buffer::RngBuffer;
 pub use feistel::{FeistelPermutation, FeistelRng, FEISTEL_DEFAULT_ROUNDS};
 pub use gauss::GaussianSampler;
 pub use splitmix::SplitMix64;
@@ -62,6 +64,19 @@ pub use xoshiro::Xoshiro256StarStar;
 pub trait SimRng {
     /// Returns the next 64 random bits.
     fn next_u64(&mut self) -> u64;
+
+    /// Fills `out` with the next `out.len()` values of the stream, in
+    /// draw order — exactly equivalent to that many
+    /// [`SimRng::next_u64`] calls.
+    ///
+    /// The provided implementation loops; generators override it with a
+    /// register-resident bulk pass (see
+    /// [`Xoshiro256StarStar::fill_u64`]).
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
 
     /// Returns a uniformly distributed value in `[0, bound)`.
     ///
@@ -110,18 +125,29 @@ pub trait SimRng {
 }
 
 impl SimRng for SplitMix64 {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         SplitMix64::next_u64(self)
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        SplitMix64::fill_u64(self, out);
     }
 }
 
 impl SimRng for Xoshiro256StarStar {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         Xoshiro256StarStar::next_u64(self)
+    }
+
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        Xoshiro256StarStar::fill_u64(self, out);
     }
 }
 
 impl SimRng for FeistelRng {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         FeistelRng::next_u64(self)
     }

@@ -24,20 +24,52 @@ pub struct SplitMix64 {
     state: u64,
 }
 
+/// The golden-ratio increment of the SplitMix64 state sequence.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
 impl SplitMix64 {
     /// Creates a generator from a 64-bit seed.
+    #[inline]
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
         Self { state: seed }
     }
 
     /// Returns the next 64 random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.wrapping_add(GOLDEN);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    /// Fills `out` with the next `out.len()` values of the stream, in
+    /// draw order — exactly equivalent to that many
+    /// [`SplitMix64::next_u64`] calls.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let mut state = self.state;
+        for slot in out {
+            state = state.wrapping_add(GOLDEN);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        self.state = state;
+    }
+
+    /// Advances the generator by `n` draws in O(1).
+    ///
+    /// The SplitMix64 state walks an additive sequence
+    /// (`state += GOLDEN` per draw), so skipping `n` draws is a single
+    /// wrapping multiply-add. Afterwards the generator produces exactly
+    /// the values `n` sequential [`SplitMix64::next_u64`] calls would
+    /// have led to.
+    #[inline]
+    pub fn jump_ahead(&mut self, n: u64) {
+        self.state = self.state.wrapping_add(GOLDEN.wrapping_mul(n));
     }
 }
 

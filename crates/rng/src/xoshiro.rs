@@ -40,6 +40,7 @@ impl Xoshiro256StarStar {
     }
 
     /// Returns the next 64 random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -50,6 +51,49 @@ impl Xoshiro256StarStar {
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
         result
+    }
+
+    /// Fills `out` with the next `out.len()` values of the stream, in
+    /// draw order — exactly equivalent to that many
+    /// [`Xoshiro256StarStar::next_u64`] calls. Keeping the 256-bit state
+    /// in registers across the whole run lets an event-dense batch draw
+    /// its randomness in one pass.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for slot in out {
+            *slot = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+
+    /// Advances the generator by `n` draws, discarding the outputs.
+    ///
+    /// Equivalent to calling [`Xoshiro256StarStar::next_u64`] `n` times
+    /// and ignoring the results, but skips the `**` output scramble and
+    /// keeps the state in registers, so it runs at a few cycles per
+    /// step. There is no closed form for arbitrary `n` (contrast
+    /// [`SplitMix64::jump_ahead`](crate::SplitMix64::jump_ahead)); for
+    /// partitioning a stream into parallel substreams use the O(1)
+    /// fixed-distance [`Xoshiro256StarStar::jump`] instead.
+    pub fn jump_ahead(&mut self, n: u64) {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        for _ in 0..n {
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+        }
+        self.s = [s0, s1, s2, s3];
     }
 
     /// Advances the generator 2¹²⁸ steps, for partitioning one stream

@@ -61,6 +61,12 @@ impl WearLeveler for Nowl {
         PhysicalPageAddr::new(la.index())
     }
 
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        // Identity mapping, one device write per logical write: a batch
+        // of `n` grows exactly one page's wear by exactly `n`.
+        wear_margin.saturating_sub(1).max(1)
+    }
+
     fn write(
         &mut self,
         la: LogicalPageAddr,

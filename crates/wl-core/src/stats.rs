@@ -66,6 +66,18 @@ impl WlStats {
         self.blocking_cycles += n * outcome.blocking_cycles;
     }
 
+    /// Folds another accumulator's totals into these — the flush arm of
+    /// batch loops that record into a local `WlStats` and merge once.
+    /// Every field is a sum, so `absorb` of a local accumulator is
+    /// identical to having recorded each write here directly.
+    pub fn absorb(&mut self, other: &WlStats) {
+        self.logical_writes += other.logical_writes;
+        self.device_writes += other.device_writes;
+        self.swaps += other.swaps;
+        self.engine_cycles += other.engine_cycles;
+        self.blocking_cycles += other.blocking_cycles;
+    }
+
     /// Swap operations per logical write (Fig. 7a's y-axis).
     #[must_use]
     pub fn swap_per_write(&self) -> f64 {

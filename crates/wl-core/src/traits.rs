@@ -72,6 +72,30 @@ pub trait WearLeveler {
         batch
     }
 
+    /// Largest batch of same-page logical writes guaranteed to grow any
+    /// single physical page's wear by *strictly less than* `wear_margin`
+    /// device writes.
+    ///
+    /// This is the pacing hook of the exact batched degradation loop:
+    /// the fault simulator knows how far every page is from its next
+    /// observable fault event (its *wear margin*) and asks the scheme
+    /// how many logical writes it can absorb without any page crossing
+    /// that margin mid-batch. Returning `1` is always safe — a single
+    /// logical write is the granularity at which the per-write reference
+    /// loop observes faults too, so whatever wear one write causes can
+    /// never be detected "late". Schemes override this with a bound
+    /// derived from their own write amplification (requests, migrations,
+    /// epoch bursts) to let quiet stretches batch by the thousands.
+    ///
+    /// The contract is one-sided: the returned count may be
+    /// conservative (smaller batches only cost speed), but it must
+    /// never allow a page to gain `wear_margin` or more wear within one
+    /// batch of more than one write.
+    fn write_batch_cap(&self, wear_margin: u64) -> u64 {
+        let _ = wear_margin;
+        1
+    }
+
     /// Services a logical read.
     ///
     /// The default implementation translates, validates against the
