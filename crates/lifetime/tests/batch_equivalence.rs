@@ -92,12 +92,18 @@ fn batched_attacks_stay_bit_identical_off_the_default_config() {
     // boundaries (toss-up interval, inter-pair interval, swap mode)
     // move with the overrides, and the relabeling wrapper must not
     // perturb them.
-    const SPECS: [&str; 5] = [
+    // The SR entries pin its closed-form `write_batch`: odd intervals
+    // land refresh events off any power-of-two stride, and a large
+    // outer interval exercises long quiet stretches on one level while
+    // the other keeps firing.
+    const SPECS: [&str; 7] = [
         "TWL_swp[ti=8]",
         "TWL_swp[pair=rnd:11]",
         "TWL_swp[swap=3]",
         "BWL[epoch=600,repair=0]",
         "StartGap[gap=37]",
+        "SR[inner=5,outer=9]",
+        "SR[inner=3,outer=128]",
     ];
     for label in SPECS {
         let spec: SchemeSpec = label.parse().expect("spec label parses");

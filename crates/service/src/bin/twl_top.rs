@@ -18,6 +18,13 @@
 //! one row per registered worker with its slots, in-flight cells,
 //! served total, and dispatch failures.
 //!
+//! Pointed at a `twl-blockd` (same protocol again), the scrape carries
+//! the `twl_blockdev_*` families instead and the dashboard shows the
+//! block-device section: export size, op counters, the wear pipeline's
+//! logical/device write totals, retirement and spare-pool state, and
+//! the capture length — with an END OF LIFE banner once the spare pool
+//! is exhausted.
+//!
 //! `--once` renders a single frame without clearing the screen and
 //! exits — what the CI smoke job and scripts use. The default address
 //! is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
@@ -107,7 +114,47 @@ fn fleet_stats(samples: &[PromSample], flat: &impl Fn(&str) -> f64) -> Option<Fl
     })
 }
 
-fn scrape(client: &mut Client) -> Result<(DaemonStats, Option<FleetStats>), String> {
+/// Block-daemon numbers; `None` when the scrape carries no
+/// `twl_blockdev_*` families (not a `twl-blockd`).
+#[derive(Debug)]
+struct BlockdevStats {
+    export_bytes: f64,
+    reads: f64,
+    writes: f64,
+    trims: f64,
+    flushes: f64,
+    bytes_written: f64,
+    logical_writes: f64,
+    device_writes: f64,
+    pages_retired: f64,
+    spares_remaining: f64,
+    capture_cmds: f64,
+    end_of_life: bool,
+}
+
+fn blockdev_stats(samples: &[PromSample], flat: &impl Fn(&str) -> f64) -> Option<BlockdevStats> {
+    if !samples.iter().any(|s| s.name.starts_with("twl_blockdev_")) {
+        return None;
+    }
+    Some(BlockdevStats {
+        export_bytes: flat("twl_blockdev_export_bytes"),
+        reads: flat("twl_blockdev_reads"),
+        writes: flat("twl_blockdev_writes"),
+        trims: flat("twl_blockdev_trims"),
+        flushes: flat("twl_blockdev_flushes"),
+        bytes_written: flat("twl_blockdev_bytes_written"),
+        logical_writes: flat("twl_blockdev_wear_logical_writes"),
+        device_writes: flat("twl_blockdev_wear_device_writes"),
+        pages_retired: flat("twl_blockdev_pages_retired"),
+        spares_remaining: flat("twl_blockdev_spares_remaining"),
+        capture_cmds: flat("twl_blockdev_capture_cmds"),
+        end_of_life: flat("twl_blockdev_end_of_life") > 0.0,
+    })
+}
+
+type Scrape = (DaemonStats, Option<FleetStats>, Option<BlockdevStats>);
+
+fn scrape(client: &mut Client) -> Result<Scrape, String> {
     let text = client.metrics().map_err(|e| e.to_string())?;
     let samples = parse_exposition(&text).map_err(|e| format!("bad metrics page: {e}"))?;
     let flat = scalar_samples(&samples);
@@ -121,7 +168,8 @@ fn scrape(client: &mut Client) -> Result<(DaemonStats, Option<FleetStats>), Stri
         cancelled: get("twl_service_jobs_cancelled"),
     };
     let fleet = fleet_stats(&samples, &get);
-    Ok((stats, fleet))
+    let blockdev = blockdev_stats(&samples, &get);
+    Ok((stats, fleet, blockdev))
 }
 
 fn progress_bar(done: u64, total: u64, width: usize) -> String {
@@ -198,13 +246,65 @@ fn render_fleet(fleet: &FleetStats) -> String {
     out
 }
 
+/// `4096 B` / `1.5 KiB` / `2.0 GiB` — export sizes are round numbers,
+/// one decimal is plenty.
+fn human_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024.0 {
+        return format!("{bytes:.0} B");
+    }
+    let mut value = bytes;
+    let mut unit = "B";
+    for next in UNITS {
+        if value < 1024.0 {
+            break;
+        }
+        value /= 1024.0;
+        unit = next;
+    }
+    format!("{value:.1} {unit}")
+}
+
+fn render_blockdev(blk: &BlockdevStats) -> String {
+    let amplification = if blk.logical_writes > 0.0 {
+        format!("{:.3}x", blk.device_writes / blk.logical_writes)
+    } else {
+        "n/a".to_owned()
+    };
+    let mut out = format!(
+        "blockdev — export {}, ops {:.0} wr / {:.0} rd / {:.0} trim / {:.0} flush \
+         ({} written)\n\
+         wear — {:.0} logical -> {:.0} device writes (amp {amplification}), \
+         {:.0} pages retired, {:.0} spares left, capture {:.0} cmds\n",
+        human_bytes(blk.export_bytes),
+        blk.writes,
+        blk.reads,
+        blk.trims,
+        blk.flushes,
+        human_bytes(blk.bytes_written),
+        blk.logical_writes,
+        blk.device_writes,
+        blk.pages_retired,
+        blk.spares_remaining,
+        blk.capture_cmds,
+    );
+    if blk.end_of_life {
+        out.push_str("*** END OF LIFE: spare pool exhausted, writes return ENOSPC ***\n");
+    }
+    out.push('\n');
+    out
+}
+
 fn render_frame(
     addr: &str,
     stats: &DaemonStats,
     fleet: Option<&FleetStats>,
+    blockdev: Option<&BlockdevStats>,
     jobs: &[JobSnapshot],
 ) -> String {
-    let daemon = if fleet.is_some() {
+    let daemon = if blockdev.is_some() {
+        "twl-blockd"
+    } else if fleet.is_some() {
         "twl-coordinator"
     } else {
         "twl-serviced"
@@ -221,6 +321,9 @@ fn render_frame(
     );
     if let Some(fleet) = fleet {
         out.push_str(&render_fleet(fleet));
+    }
+    if let Some(blockdev) = blockdev {
+        out.push_str(&render_blockdev(blockdev));
     }
     if jobs.is_empty() {
         out.push_str("no jobs\n");
@@ -239,8 +342,14 @@ fn render_frame(
 fn poll(addr: &str) -> Result<String, String> {
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
     let jobs = client.status(None).map_err(|e| e.to_string())?;
-    let (stats, fleet) = scrape(&mut client)?;
-    Ok(render_frame(addr, &stats, fleet.as_ref(), &jobs))
+    let (stats, fleet, blockdev) = scrape(&mut client)?;
+    Ok(render_frame(
+        addr,
+        &stats,
+        fleet.as_ref(),
+        blockdev.as_ref(),
+        &jobs,
+    ))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {

@@ -13,6 +13,8 @@ use std::io::{self, Read, Write};
 
 use twl_telemetry::json::Json;
 
+use crate::net::guard_frame_len;
+
 /// Hard ceiling on a single frame's payload (4 MiB). Large matrix
 /// results stay well under this; anything bigger is a protocol error.
 pub const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
@@ -112,10 +114,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Json, FrameError> {
         Ok(_) => {}
         Err(e) => return Err(FrameError::Io(e)),
     }
-    let len = u32::from_be_bytes(header) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(FrameError::Oversized { len });
-    }
+    let len = guard_frame_len(u64::from(u32::from_be_bytes(header)), MAX_FRAME_BYTES)
+        .map_err(|len| FrameError::Oversized { len })?;
     let mut payload = vec![0u8; len];
     match fill(r, &mut payload) {
         Ok(n) if n < len => return Err(FrameError::Truncated),

@@ -1,0 +1,88 @@
+//! Connection-robustness helpers shared by every TCP daemon in the
+//! workspace (`twl-serviced`, `twl-coordinator`, `twl-blockd`).
+//!
+//! Two hazards recur in any accept-loop server, whatever its wire
+//! format:
+//!
+//! * **Half-open peers** — a client that stalls mid-request (or never
+//!   sends one) would pin a connection thread forever. The fix is a
+//!   per-connection read deadline: [`apply_idle_timeout`] arms it and
+//!   [`is_idle_timeout`] recognizes its expiry, which surfaces as
+//!   `WouldBlock` or `TimedOut` depending on the platform.
+//! * **Hostile length prefixes** — a frame header declaring a huge
+//!   payload must be refused *before* the payload buffer is allocated,
+//!   or a single bogus header forces an arbitrary allocation.
+//!   [`guard_frame_len`] is that check, shared by the `twl-wire/v1`
+//!   JSON framing and the NBD request reader.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The idle deadline `ms` milliseconds buys; `None` when disabled (0).
+#[must_use]
+pub fn idle_deadline(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Arms a connection's read deadline, best-effort: a socket that
+/// refuses the option simply keeps the OS default, which degrades
+/// reaping, not serving.
+pub fn apply_idle_timeout(stream: &TcpStream, idle: Option<Duration>) {
+    if let Some(idle) = idle {
+        let _ = stream.set_read_timeout(Some(idle));
+    }
+}
+
+/// Whether an I/O error is a read-timeout expiry (the idle-connection
+/// deadline) rather than a real transport failure.
+#[must_use]
+pub fn is_idle_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Validates a frame's declared payload length against a protocol
+/// ceiling, *before* any allocation. Returns the length as a `usize`
+/// on success and the offending length on refusal.
+///
+/// # Errors
+///
+/// Returns `Err(len)` when the declared length exceeds `max`.
+pub fn guard_frame_len(len: u64, max: usize) -> Result<usize, usize> {
+    let as_usize = usize::try_from(len).map_err(|_| usize::MAX)?;
+    if as_usize > max {
+        return Err(as_usize);
+    }
+    Ok(as_usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_none_when_disabled() {
+        assert_eq!(idle_deadline(0), None);
+        assert_eq!(idle_deadline(250), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn timeout_kinds_are_recognized() {
+        assert!(is_idle_timeout(&io::Error::from(io::ErrorKind::WouldBlock)));
+        assert!(is_idle_timeout(&io::Error::from(io::ErrorKind::TimedOut)));
+        assert!(!is_idle_timeout(&io::Error::from(
+            io::ErrorKind::ConnectionReset
+        )));
+    }
+
+    #[test]
+    fn frame_guard_accepts_up_to_the_ceiling() {
+        assert_eq!(guard_frame_len(0, 16), Ok(0));
+        assert_eq!(guard_frame_len(16, 16), Ok(16));
+        assert_eq!(guard_frame_len(17, 16), Err(17));
+        assert_eq!(guard_frame_len(u64::MAX, 16), Err(usize::MAX));
+    }
+}

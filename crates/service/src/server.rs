@@ -124,8 +124,7 @@ impl Server {
             checkpoints,
             workers,
             checkpoint_interval_writes: config.checkpoint_interval_writes.max(1),
-            idle_timeout: (config.idle_timeout_ms > 0)
-                .then(|| Duration::from_millis(config.idle_timeout_ms)),
+            idle_timeout: crate::net::idle_deadline(config.idle_timeout_ms),
         })
     }
 
@@ -175,9 +174,7 @@ impl Server {
             // An idle peer (including a half-open one that sent a
             // partial frame and stalled) is cut loose after the idle
             // timeout, costing that connection only.
-            if let Some(idle) = self.idle_timeout {
-                let _ = stream.set_read_timeout(Some(idle));
-            }
+            crate::net::apply_idle_timeout(&stream, self.idle_timeout);
             let queue = Arc::clone(&self.queue);
             let checkpoints = self.checkpoints.clone();
             let ctx = ConnCtx {
@@ -435,15 +432,6 @@ struct ConnCtx {
     local_addr: SocketAddr,
 }
 
-/// Whether an I/O error is a read-timeout expiry (the idle-connection
-/// deadline) rather than a real transport failure.
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
-}
-
 /// Serves one connection until it closes, violates the protocol, or
 /// sits idle past the configured timeout.
 fn handle_connection(
@@ -473,7 +461,7 @@ fn handle_connection(
                 return;
             }
             Err(FrameError::Io(e)) => {
-                if is_timeout(&e) {
+                if crate::net::is_idle_timeout(&e) {
                     counter!("twl.service.idle_timeouts").inc();
                     let _ = send(
                         stream,

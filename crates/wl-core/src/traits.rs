@@ -20,7 +20,11 @@ use twl_pcm::{LogicalPageAddr, PcmDevice, PcmError, PhysicalPageAddr};
 /// methodology. An error may surface from a *migration* write, not only
 /// from the requested page — wear-out during a swap still kills the
 /// device.
-pub trait WearLeveler {
+///
+/// `Send` is a supertrait: schemes are plain tables and RNG state, and
+/// services (`twl-serviced` workers, `twl-blockd` connection threads)
+/// move or share `Box<dyn WearLeveler>` across threads.
+pub trait WearLeveler: Send {
     /// A short human-readable scheme name (`"TWL_swp"`, `"SR"`, …).
     fn name(&self) -> &str;
 

@@ -28,5 +28,5 @@ mod zipf;
 
 pub use parsec::ParsecBenchmark;
 pub use synthetic::{SyntheticWorkload, WorkloadConfig};
-pub use trace::{read_trace, write_trace, MemCmd, MemOp};
+pub use trace::{read_trace, write_trace, MemCmd, MemOp, TraceWriter};
 pub use zipf::{zipf_alpha_for_hot_share, Zipf};

@@ -115,9 +115,78 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Vec<MemCmd>> {
     Ok(trace)
 }
 
+/// Incremental writer for the binary trace format: appends one command
+/// at a time and counts what it wrote, so a long-lived capture (the
+/// `twl-blockd` block-write stream) streams to its sink without
+/// buffering the whole trace.
+///
+/// The byte stream is identical to one [`write_trace`] call over the
+/// same commands — a capture file is readable by [`read_trace`] at any
+/// flush point.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a sink; nothing is written until the first append.
+    pub fn new(inner: W) -> Self {
+        Self { inner, written: 0 }
+    }
+
+    /// Appends one command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn append(&mut self, cmd: MemCmd) -> io::Result<()> {
+        write_trace(&mut self.inner, std::slice::from_ref(&cmd))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Commands appended so far.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Unwraps the sink (without flushing).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_writer_matches_the_one_shot_codec() {
+        let trace = vec![
+            MemCmd::write(LogicalPageAddr::new(3)),
+            MemCmd::read(LogicalPageAddr::new(9)),
+            MemCmd::write(LogicalPageAddr::new(3)),
+        ];
+        let mut one_shot = Vec::new();
+        write_trace(&mut one_shot, &trace).unwrap();
+        let mut streamed = TraceWriter::new(Vec::new());
+        for &cmd in &trace {
+            streamed.append(cmd).unwrap();
+        }
+        assert_eq!(streamed.written(), 3);
+        assert_eq!(streamed.into_inner(), one_shot);
+    }
 
     #[test]
     fn codec_roundtrip() {
