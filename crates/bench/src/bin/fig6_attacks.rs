@@ -7,11 +7,21 @@
 //! everything; TWL_swp beats TWL_ap by ~21.7 % and bottoms out at 4.1
 //! years under scan.
 //!
+//! The whole figure is one declarative scheme × workload matrix — both
+//! axes are spec label lists, so the identical study can be submitted
+//! to `twl-serviced` with
+//! `twl-ctl submit --schemes "BWL,SR,..." --workloads "repeat,random,..."`
+//! and its table is pinned by `results/golden/fig6_attacks.txt`.
+//!
 //! Run: `cargo run --release -p twl-bench --bin fig6_attacks [-- --pages N ...]`
 
-use twl_attacks::AttackKind;
 use twl_bench::{print_table, ExperimentConfig};
-use twl_lifetime::{attack_matrix, Calibration, SchemeKind, SimLimits};
+use twl_lifetime::{lifetime_matrix, parse_spec_list, Calibration, SimLimits};
+use twl_workloads::parse_workload_list;
+
+/// The figure's axes, as data.
+const SCHEMES: &str = "BWL,SR,TWL_ap,TWL_swp,NOWL";
+const WORKLOADS: &str = "repeat,random,scan,inconsistent";
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -26,32 +36,33 @@ fn main() {
         config.pages, config.mean_endurance, config.seed
     );
 
-    let headers = [
-        "scheme",
-        "repeat",
-        "random",
-        "scan",
-        "inconsistent",
-        "Gmean",
-    ];
-    let reports = attack_matrix(
+    let schemes = parse_spec_list(SCHEMES).expect("scheme axis parses");
+    let workloads = parse_workload_list(WORKLOADS).expect("workload axis parses");
+
+    let mut headers = vec!["scheme".to_owned()];
+    headers.extend(workloads.iter().map(ToString::to_string));
+    headers.push("Gmean".to_owned());
+
+    let reports = lifetime_matrix(
         &config.pcm_config(),
-        &SchemeKind::FIG6,
-        &AttackKind::ALL,
+        &schemes,
+        &workloads,
         &SimLimits::default(),
     );
     let mut rows = Vec::new();
-    for (i, kind) in SchemeKind::FIG6.iter().enumerate() {
-        let row = &reports[i * AttackKind::ALL.len()..(i + 1) * AttackKind::ALL.len()];
-        let mut cells = vec![kind.label().to_owned()];
+    for (i, spec) in schemes.iter().enumerate() {
+        let row = &reports[i * workloads.len()..(i + 1) * workloads.len()];
+        let mut cells = vec![spec.to_string()];
         let mut product = 1.0f64;
         for report in row {
             product *= report.years.max(1e-6);
             cells.push(format!("{:.2}", report.years));
         }
-        cells.push(format!("{:.2}", product.powf(0.25)));
+        #[allow(clippy::cast_precision_loss)]
+        cells.push(format!("{:.2}", product.powf(1.0 / workloads.len() as f64)));
         rows.push(cells);
     }
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(&headers, &rows);
     twl_bench::finish_telemetry();
 }

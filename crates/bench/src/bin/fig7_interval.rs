@@ -14,11 +14,10 @@
 //!
 //! Run: `cargo run --release -p twl-bench --bin fig7_interval [-- --pages N ...]`
 
-use twl_attacks::AttackKind;
 use twl_bench::{print_table, ExperimentConfig};
-use twl_lifetime::{attack_matrix, workload_matrix, SchemeSpec, SimLimits};
+use twl_lifetime::{lifetime_matrix, SchemeSpec, SimLimits};
 use twl_pcm::PcmConfig;
-use twl_workloads::ParsecBenchmark;
+use twl_workloads::{parse_workload_list, ParsecBenchmark, WorkloadSpec};
 
 /// Writes driven per benchmark for the swap-ratio measurement.
 const RATIO_WRITES: u64 = 400_000;
@@ -42,21 +41,20 @@ fn main() {
         })
         .collect();
 
+    // Both panels' workload axes, as data.
+    let benchmarks: Vec<WorkloadSpec> = ParsecBenchmark::ALL.map(WorkloadSpec::from).to_vec();
+    let scan = parse_workload_list("scan").expect("scan axis parses");
+
     // (a) Swap/write ratio over PARSEC, on a wear-proof device so the
     // measurement window is identical across intervals.
     let ratio_pcm = PcmConfig::scaled(config.pages, 100_000_000, config.seed);
     let ratio_limits = SimLimits {
         max_logical_writes: RATIO_WRITES,
     };
-    let ratio_reports = workload_matrix(&ratio_pcm, &specs, &ParsecBenchmark::ALL, &ratio_limits);
+    let ratio_reports = lifetime_matrix(&ratio_pcm, &specs, &benchmarks, &ratio_limits);
 
     // (b) Lifetime under the scan attack on the endurance-limited device.
-    let scan_reports = attack_matrix(
-        &config.pcm_config(),
-        &specs,
-        &[AttackKind::Scan],
-        &SimLimits::default(),
-    );
+    let scan_reports = lifetime_matrix(&config.pcm_config(), &specs, &scan, &SimLimits::default());
 
     let headers = [
         "interval",

@@ -216,9 +216,17 @@ fn main() {
                 format!("{batched_wps:.0}"),
                 format!("{speedup:.2}x"),
             ]);
+            // `attack` stays for old readers of BENCH_throughput.json;
+            // `workload` is the canonical WorkloadSpec label new
+            // tooling keys on (identical for bare attacks, but carries
+            // params for future parameterized rows).
+            let workload = twl_workloads::WorkloadSpec::from(attack_kind)
+                .canonical()
+                .label();
             runs.push(Json::obj([
                 ("scheme", json::str(kind.label())),
                 ("attack", json::str(&attack)),
+                ("workload", json::str(&workload)),
                 ("logical_writes", json::int(writes)),
                 ("unbatched_secs", json::num(unbatched_secs)),
                 ("batched_secs", json::num(batched_secs)),

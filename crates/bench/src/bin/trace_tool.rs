@@ -4,11 +4,13 @@
 //! loops (§5.1); this tool provides the same workflow for the synthetic
 //! workloads, via the `twl-workloads` binary codec:
 //!
-//! * `gen <benchmark> <commands> <file>` — write a trace file.
+//! * `gen <workload> <commands> <file>` — write a trace file from any
+//!   synthetic workload spec (e.g. `canneal` or `vips[alpha=1.2]`).
 //! * `stat <file>` — print command counts and page-popularity stats.
-//! * `replay <file> <scheme> [loops]` — drive a scheme with the trace's
-//!   writes (looping, as the paper does) until wear-out or the loop
-//!   budget ends.
+//! * `replay <file> <scheme> [loops]` — drive a scheme (any
+//!   [`twl_lifetime::SchemeSpec`] label, e.g. `TWL_swp[ti=64]`) with
+//!   the trace's writes (looping, as the paper does) until wear-out or
+//!   the loop budget ends.
 //!
 //! Run: `cargo run --release -p twl-bench --bin trace_tool -- gen canneal 100000 /tmp/canneal.trace`
 
@@ -16,16 +18,16 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::exit;
-use twl_lifetime::{build_scheme, Calibration, SchemeKind};
+use twl_lifetime::{build_scheme_spec, Calibration, SchemeSpec};
 use twl_pcm::{PcmConfig, PcmDevice};
-use twl_workloads::{read_trace, write_trace, MemCmd, ParsecBenchmark};
+use twl_workloads::{read_trace, write_trace, MemCmd, WorkloadSpec};
 
 const PAGES: u64 = 4096;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace_tool gen <benchmark> <commands> <file>\n  trace_tool stat <file>\n  \
-         trace_tool replay <file> <NOWL|SR|BWL|TWL> [loops]"
+        "usage:\n  trace_tool gen <workload> <commands> <file>\n  trace_tool stat <file>\n  \
+         trace_tool replay <file> <scheme spec> [loops]"
     );
     exit(2);
 }
@@ -55,17 +57,20 @@ fn main() {
     }
 }
 
-fn generate(bench_name: &str, count: &str, path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let bench = ParsecBenchmark::ALL
-        .into_iter()
-        .find(|b| b.name() == bench_name)
-        .ok_or_else(|| format!("unknown benchmark {bench_name}"))?;
+fn generate(label: &str, count: &str, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    // One parser for every workload label in the workspace: the same
+    // grammar `twl-ctl --workloads` and the sweep matrices accept.
+    let spec: WorkloadSpec = label.parse()?;
     let count: u64 = count.parse()?;
-    let mut workload = bench.workload(PAGES, 42);
+    let mut built = spec.build(PAGES, 42)?;
+    let workload = built.as_synthetic_mut().ok_or(
+        "gen needs a synthetic generator (a PARSEC benchmark label); \
+         attacks and TRACE specs do not emit read/write command streams",
+    )?;
     let trace: Vec<MemCmd> = (0..count).map(|_| workload.next_cmd()).collect();
     let mut writer = BufWriter::new(File::create(path)?);
     write_trace(&mut writer, &trace)?;
-    println!("wrote {count} commands of {bench_name} to {path}");
+    println!("wrote {count} commands of {label} to {path}");
     Ok(())
 }
 
@@ -98,7 +103,7 @@ fn replay(
     scheme_name: &str,
     loops: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let kind: SchemeKind = scheme_name.parse()?;
+    let spec: SchemeSpec = scheme_name.parse()?;
     let max_loops: u64 = loops.unwrap_or("100000").parse()?;
     let trace = read_trace(BufReader::new(File::open(path)?))?;
     if trace.is_empty() {
@@ -106,7 +111,7 @@ fn replay(
     }
     let pcm = PcmConfig::scaled(PAGES, 20_000, 42);
     let mut device = PcmDevice::new(&pcm);
-    let mut scheme = build_scheme(kind, &device)?;
+    let mut scheme = build_scheme_spec(&spec, &device)?;
     let logical = scheme.page_count();
 
     let mut total_writes = 0u64;

@@ -23,10 +23,16 @@
 //!   that is what makes the cache shareable across jobs.
 //! * Descriptor keys are emitted in the canonical sorted order of
 //!   [`Json::to_compact`]; the golden fixtures pin the exact bytes.
+//! * Trace cells additionally pin `workload_hash` — the SHA-256 of the
+//!   trace file's bytes — because a path is a location, not content:
+//!   entries are shared exactly when the replayed writes are identical,
+//!   and never across re-captures (pinned by
+//!   `tests/fixtures/pr10_cellkeys.json`).
 
 use twl_service::job::JobKind;
 use twl_service::JobSpec;
 use twl_telemetry::json::{str, Json};
+use twl_workloads::{WorkloadKind, WorkloadParams};
 
 use crate::sha256::sha256_hex;
 
@@ -44,7 +50,8 @@ impl CellKey {
     /// # Panics
     ///
     /// Panics if `index >= spec.cell_count()` (same contract as
-    /// [`JobSpec::run_cell`]).
+    /// [`JobSpec::run_cell`]), or if the cell replays a trace whose
+    /// file cannot be read (the key pins the trace *content*).
     #[must_use]
     pub fn of(spec: &JobSpec, index: usize) -> Self {
         let descriptor = Self::descriptor(spec, index);
@@ -56,26 +63,28 @@ impl CellKey {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= spec.cell_count()`.
+    /// Panics if `index >= spec.cell_count()` or if a trace workload's
+    /// file cannot be read.
     #[must_use]
     pub fn descriptor(spec: &JobSpec, index: usize) -> Json {
         assert!(index < spec.cell_count(), "cell index out of range");
 
-        // Attack matrices and lifetime runs execute the identical
-        // attack cell, so they share a cell kind (and cache entries);
-        // workload and degradation cells produce different report
-        // shapes and stay distinct.
-        let (cell_kind, workload) = match spec.kind {
-            JobKind::AttackMatrix | JobKind::LifetimeRun => ("attack", spec.describe_cell(index).1),
-            JobKind::WorkloadMatrix => ("workload", spec.describe_cell(index).1),
-            JobKind::DegradationMatrix => ("degradation", spec.describe_cell(index).1),
+        // The cell kind follows the *workload family*, not the matrix
+        // shape: attack matrices and lifetime runs execute the
+        // identical attack cell, so they share a cell kind (and cache
+        // entries); synthetic-generator, trace-replay, and degradation
+        // cells produce different report shapes or sampling and stay
+        // distinct.
+        let axis = spec.workload_axis();
+        let workload_spec = &axis[index % axis.len()];
+        let workload = spec.describe_cell(index).1;
+        let cell_kind = match (spec.kind, &workload_spec.kind) {
+            (JobKind::DegradationMatrix, _) => "degradation",
+            (_, WorkloadKind::Trace) => "trace",
+            (_, WorkloadKind::Parsec(_)) => "workload",
+            _ => "attack",
         };
-        let scheme = match spec.kind {
-            JobKind::AttackMatrix | JobKind::LifetimeRun | JobKind::DegradationMatrix => {
-                spec.schemes[index / spec.attacks.len()]
-            }
-            JobKind::WorkloadMatrix => spec.schemes[index / spec.benchmarks.len()],
-        };
+        let scheme = spec.schemes[index / axis.len()];
 
         // Borrow the spec's own wire encoding for the device, limits,
         // and fault sub-documents so the descriptor can never drift
@@ -97,6 +106,16 @@ impl CellKey {
         ];
         if spec.kind == JobKind::DegradationMatrix {
             pairs.push(("fault", sub("fault")));
+        }
+        // A trace label names a *path*, which is not content: the same
+        // path can hold different captures on different machines. The
+        // descriptor therefore pins the SHA-256 of the trace bytes, so
+        // cache entries are shared exactly when the replayed writes are
+        // identical — and never across re-captures.
+        if let WorkloadParams::Trace(trace) = &workload_spec.params {
+            let bytes = std::fs::read(&trace.path)
+                .unwrap_or_else(|e| panic!("cannot hash trace {}: {e}", trace.path));
+            pairs.push(("workload_hash", str(&sha256_hex(&bytes))));
         }
         Json::obj(pairs)
     }
@@ -146,7 +165,7 @@ mod tests {
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
             schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-            attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+            attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
             benchmarks: vec![],
             fault: None,
         }
@@ -177,7 +196,7 @@ mod tests {
         let big = spec();
         let mut small = spec();
         small.schemes = vec![SchemeKind::TwlSwp.into()];
-        small.attacks = vec![AttackKind::Scan];
+        small.attacks = vec![AttackKind::Scan.into()];
         // TWL_swp × scan is cell 3 of the 2x2 matrix, cell 0 of the 1x1.
         assert_eq!(CellKey::of(&big, 3), CellKey::of(&small, 0));
     }
@@ -187,7 +206,7 @@ mod tests {
         let mut run = spec();
         run.kind = JobKind::LifetimeRun;
         run.schemes = vec![SchemeKind::Nowl.into()];
-        run.attacks = vec![AttackKind::Repeat];
+        run.attacks = vec![AttackKind::Repeat.into()];
         assert_eq!(CellKey::of(&spec(), 0), CellKey::of(&run, 0));
     }
 

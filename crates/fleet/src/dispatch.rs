@@ -365,7 +365,7 @@ mod tests {
             pcm: PcmConfig::scaled(64, 500, 3),
             limits: SimLimits::default(),
             schemes: vec![SchemeKind::Nowl.into()],
-            attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+            attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
             benchmarks: vec![],
             fault: None,
         })

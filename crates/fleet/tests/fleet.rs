@@ -68,10 +68,10 @@ fn full_matrix(seed: u64) -> JobSpec {
         limits: SimLimits::default(),
         schemes: SchemeKind::ALL.iter().map(|&k| k.into()).collect(),
         attacks: vec![
-            AttackKind::Repeat,
-            AttackKind::Random,
-            AttackKind::Scan,
-            AttackKind::Inconsistent,
+            AttackKind::Repeat.into(),
+            AttackKind::Random.into(),
+            AttackKind::Scan.into(),
+            AttackKind::Inconsistent.into(),
         ],
         benchmarks: vec![],
         fault: None,
@@ -84,7 +84,7 @@ fn small_matrix(seed: u64) -> JobSpec {
         pcm: PcmConfig::scaled(64, 500, seed),
         limits: SimLimits::default(),
         schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
         benchmarks: vec![],
         fault: None,
     }
@@ -356,7 +356,7 @@ fn cells_stuck_on_a_stalled_worker_are_stolen() {
 
     let spec = JobSpec {
         schemes: vec![SchemeKind::TwlSwp.into()],
-        attacks: vec![AttackKind::Repeat],
+        attacks: vec![AttackKind::Repeat.into()],
         ..small_matrix(7)
     };
     let stolen_before = sample(&scrape(&coordinator), "twl_fleet_cells_stolen", None);

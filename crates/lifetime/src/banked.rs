@@ -20,16 +20,15 @@
 //! [`LifetimeReport`], so the sweep, service, and fleet layers consume
 //! banked runs without change.
 
+use crate::sweep::calibration_for;
 use crate::{
-    build_scheme_spec, pool, run_attack, run_workload, Calibration, LifetimeReport, SchemeSpec,
-    SimLimits,
+    build_scheme_spec, pool, run_attack, Calibration, LifetimeReport, SchemeSpec, SimLimits,
 };
 use serde::{Deserialize, Serialize};
-use twl_attacks::{Attack, AttackKind};
 use twl_pcm::{PcmConfig, PcmDevice, PhysicalPageAddr};
 use twl_rng::SplitMix64;
 use twl_wl_core::WlStats;
-use twl_workloads::ParsecBenchmark;
+use twl_workloads::WorkloadSpec;
 
 /// One banked run: the deterministic merge plus the per-bank detail it
 /// was folded from.
@@ -156,56 +155,68 @@ fn run_banked_on(
     }
 }
 
-/// Runs `spec` under `attack_kind` as [`PcmConfig::banks`] independent
-/// bank regions on the shared worker pool and merges the results in
-/// bank order. Bit-identical for any worker count.
+/// Runs `spec` under any workload spec as [`PcmConfig::banks`]
+/// independent bank regions on the shared worker pool and merges the
+/// results in bank order. Bit-identical for any worker count. Each bank
+/// builds the workload against its own geometry and derived seed, so
+/// banks stay decorrelated (a trace replay starts each bank at its own
+/// seed-rotated offset).
 ///
 /// # Panics
 ///
-/// Panics if the scheme cannot be built for the bank geometry or the
-/// page count does not split evenly into even-sized banks.
+/// Panics if the scheme or workload cannot be built for the bank
+/// geometry or the page count does not split evenly into even-sized
+/// banks.
 #[must_use]
-pub fn run_attack_banked(
+pub fn run_lifetime_banked(
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    attack_kind: AttackKind,
+    workload: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> BankedLifetimeReport {
-    run_attack_banked_on(
+    run_lifetime_banked_on(
         pool::worker_count(pcm.banks.max(1) as usize),
         pcm,
         spec,
-        attack_kind,
+        workload,
         limits,
     )
 }
 
-/// [`run_attack_banked`] with an explicit worker count — the seam the
+/// [`run_lifetime_banked`] with an explicit worker count — the seam the
 /// determinism tests pin (`workers = 1` versus `workers = n` must be
 /// bit-identical).
 ///
 /// # Panics
 ///
-/// As [`run_attack_banked`], plus `workers == 0`.
+/// As [`run_lifetime_banked`], plus `workers == 0`.
 #[must_use]
-pub fn run_attack_banked_on(
+pub fn run_lifetime_banked_on(
     workers: usize,
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    attack_kind: AttackKind,
+    workload: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> BankedLifetimeReport {
     let spec = spec.into();
-    let calibration = Calibration::attack_8gbps();
+    let workload = workload.into();
+    let calibration = calibration_for(&workload);
     run_banked_on(workers, pcm, &spec, &calibration, |cfg| {
         let mut device = PcmDevice::new(cfg);
         let mut scheme = build_scheme_spec(&spec, &device)
             .unwrap_or_else(|e| panic!("cannot build {spec} for a bank: {e}"));
-        let mut attack = Attack::new(attack_kind, scheme.page_count(), cfg.seed);
+        let pages = if workload.addresses_scheme_space() {
+            scheme.page_count()
+        } else {
+            cfg.pages
+        };
+        let mut stream = workload
+            .build(pages, cfg.seed)
+            .unwrap_or_else(|e| panic!("cannot build workload for a bank: {e}"));
         let report = run_attack(
             scheme.as_mut(),
             &mut device,
-            &mut attack,
+            &mut stream,
             limits,
             &calibration,
         );
@@ -218,72 +229,77 @@ pub fn run_attack_banked_on(
     })
 }
 
-/// Runs `spec` under a synthetic workload as [`PcmConfig::banks`]
-/// independent bank regions, merged in bank order. Bit-identical for
-/// any worker count.
+/// [`run_lifetime_banked`] with the workload axis spelled as an attack
+/// (kept for callers that predate [`WorkloadSpec`]).
 ///
 /// # Panics
 ///
-/// As [`run_attack_banked`]; additionally, each *bank* must be large
-/// enough for the benchmark's locality ratio (≳1024 pages per bank,
-/// see [`ParsecBenchmark::workload`]).
+/// As [`run_lifetime_banked`].
+#[must_use]
+pub fn run_attack_banked(
+    pcm: &PcmConfig,
+    spec: impl Into<SchemeSpec>,
+    attack: impl Into<WorkloadSpec>,
+    limits: &SimLimits,
+) -> BankedLifetimeReport {
+    run_lifetime_banked(pcm, spec, attack, limits)
+}
+
+/// [`run_attack_banked`] with an explicit worker count.
+///
+/// # Panics
+///
+/// As [`run_lifetime_banked`], plus `workers == 0`.
+#[must_use]
+pub fn run_attack_banked_on(
+    workers: usize,
+    pcm: &PcmConfig,
+    spec: impl Into<SchemeSpec>,
+    attack: impl Into<WorkloadSpec>,
+    limits: &SimLimits,
+) -> BankedLifetimeReport {
+    run_lifetime_banked_on(workers, pcm, spec, attack, limits)
+}
+
+/// [`run_lifetime_banked`] with the workload axis spelled as a
+/// benchmark. Each *bank* must be large enough for the benchmark's
+/// locality ratio (≳1024 pages per bank, see
+/// [`twl_workloads::ParsecBenchmark::workload`]).
+///
+/// # Panics
+///
+/// As [`run_lifetime_banked`].
 #[must_use]
 pub fn run_workload_banked(
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    bench: ParsecBenchmark,
+    bench: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> BankedLifetimeReport {
-    run_workload_banked_on(
-        pool::worker_count(pcm.banks.max(1) as usize),
-        pcm,
-        spec,
-        bench,
-        limits,
-    )
+    run_lifetime_banked(pcm, spec, bench, limits)
 }
 
 /// [`run_workload_banked`] with an explicit worker count.
 ///
 /// # Panics
 ///
-/// As [`run_attack_banked`], plus `workers == 0`.
+/// As [`run_lifetime_banked`], plus `workers == 0`.
 #[must_use]
 pub fn run_workload_banked_on(
     workers: usize,
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    bench: ParsecBenchmark,
+    bench: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> BankedLifetimeReport {
-    let spec = spec.into();
-    let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
-    run_banked_on(workers, pcm, &spec, &calibration, |cfg| {
-        let mut device = PcmDevice::new(cfg);
-        let mut scheme = build_scheme_spec(&spec, &device)
-            .unwrap_or_else(|e| panic!("cannot build {spec} for a bank: {e}"));
-        let mut workload = bench.workload(cfg.pages, cfg.seed);
-        let report = run_workload(
-            scheme.as_mut(),
-            &mut device,
-            &mut workload,
-            bench.name(),
-            limits,
-            &calibration,
-        );
-        BankOutcome {
-            report,
-            stats: *scheme.stats(),
-            endurance_total: device.endurance_map().total(),
-            wear: device.wear_counters().to_vec(),
-        }
-    })
+    run_lifetime_banked_on(workers, pcm, spec, bench, limits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SchemeKind;
+    use twl_attacks::AttackKind;
 
     fn config(pages: u64, banks: u32) -> PcmConfig {
         let mut pcm = PcmConfig::builder()

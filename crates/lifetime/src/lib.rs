@@ -67,8 +67,8 @@ mod sim;
 mod sweep;
 
 pub use banked::{
-    run_attack_banked, run_attack_banked_on, run_workload_banked, run_workload_banked_on,
-    BankedLifetimeReport,
+    run_attack_banked, run_attack_banked_on, run_lifetime_banked, run_lifetime_banked_on,
+    run_workload_banked, run_workload_banked_on, BankedLifetimeReport,
 };
 pub use calibrate::{Calibration, IDEAL_CALIBRATION, SECONDS_PER_YEAR};
 pub use report::{DegradationEnd, DegradationPoint, DegradationReport, LifetimeReport};
@@ -83,6 +83,6 @@ pub use sim::{
     run_workload_unbatched, SimLimits,
 };
 pub use sweep::{
-    attack_matrix, degradation_matrix, gmean_years, run_attack_cell, run_degradation_cell,
-    run_workload_cell, workload_matrix,
+    attack_matrix, degradation_matrix, gmean_years, lifetime_matrix, run_attack_cell,
+    run_degradation_cell, run_lifetime_cell, run_workload_cell, workload_matrix,
 };

@@ -17,113 +17,144 @@
 use crate::pool::run_cells;
 use crate::{
     build_scheme_spec, build_scheme_spec_for_region, run_attack, run_degradation_attack,
-    run_workload, Calibration, DegradationReport, LifetimeReport, SchemeSpec, SimLimits,
+    Calibration, DegradationReport, LifetimeReport, SchemeSpec, SimLimits,
 };
-use twl_attacks::{Attack, AttackKind};
 use twl_faults::{provision, FaultConfig};
 use twl_pcm::{PcmConfig, PcmDevice};
-use twl_workloads::ParsecBenchmark;
+use twl_workloads::WorkloadSpec;
 
-/// Runs one cell of an [`attack_matrix`]: the scheme `spec` describes
-/// under `attack` on a fresh device drawn from `pcm`, with the
-/// attack-rate calibration.
+/// The calibration a workload spec pins: a PARSEC generator (or a trace
+/// with a `bw=` override) carries its own write bandwidth; attacks use
+/// the paper's 8 GiB/s attack rate.
+pub(crate) fn calibration_for(workload: &WorkloadSpec) -> Calibration {
+    match workload.bandwidth_mbps() {
+        Some(bw) => Calibration::for_bandwidth_mbps(bw),
+        None => Calibration::attack_8gbps(),
+    }
+}
+
+/// Runs one cell of a [`lifetime_matrix`]: the scheme `spec` describes
+/// under `workload`'s write stream on a fresh device drawn from `pcm`,
+/// with the workload's calibration ([`WorkloadSpec::bandwidth_mbps`]).
 ///
-/// Deterministic: the report depends only on the arguments. Accepts a
-/// bare [`crate::SchemeKind`] (paper defaults) or a full [`SchemeSpec`].
+/// Deterministic: the report depends only on the arguments (for a
+/// `TRACE` workload, on the trace file's contents). Accepts bare kinds
+/// ([`crate::SchemeKind`], [`twl_attacks::AttackKind`],
+/// [`twl_workloads::ParsecBenchmark`]) or full specs on either axis;
+/// default-parameter specs reproduce the legacy attack/workload cells
+/// bit-identically.
 ///
 /// # Panics
 ///
-/// Panics if the scheme cannot be built for the device geometry.
+/// Panics if the scheme cannot be built for the device geometry or the
+/// workload cannot be built for the logical space (e.g. an unreadable
+/// trace file).
 #[must_use]
-pub fn run_attack_cell(
+pub fn run_lifetime_cell(
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    attack_kind: AttackKind,
+    workload: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> LifetimeReport {
     let spec = spec.into();
-    let calibration = Calibration::attack_8gbps();
+    let workload = workload.into();
+    let calibration = calibration_for(&workload);
     let build_span = twl_telemetry::span!("cell.build", spec.to_string());
     let mut device = PcmDevice::new(pcm);
     let mut scheme = build_scheme_spec(&spec, &device)
         .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
-    let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    let pages = if workload.addresses_scheme_space() {
+        scheme.page_count()
+    } else {
+        pcm.pages
+    };
+    let mut stream = workload
+        .build(pages, pcm.seed)
+        .unwrap_or_else(|e| panic!("cannot build workload for this device: {e}"));
     drop(build_span);
     run_attack(
         scheme.as_mut(),
         &mut device,
-        &mut attack,
+        &mut stream,
         limits,
         &calibration,
     )
 }
 
-/// Runs one cell of a [`workload_matrix`]: the scheme `spec` describes
-/// under `bench`'s calibrated synthetic workload on a fresh device
-/// drawn from `pcm`.
-///
-/// Deterministic: the report depends only on the arguments. Accepts a
-/// bare [`crate::SchemeKind`] (paper defaults) or a full [`SchemeSpec`].
+/// Runs one cell of an [`attack_matrix`]: [`run_lifetime_cell`] with
+/// the attack axis spelled as an [`twl_attacks::AttackKind`] (or any attack-family
+/// workload spec).
 ///
 /// # Panics
 ///
-/// Panics if the scheme cannot be built for the device geometry.
+/// Panics if the scheme or workload cannot be built for the device.
+#[must_use]
+pub fn run_attack_cell(
+    pcm: &PcmConfig,
+    spec: impl Into<SchemeSpec>,
+    attack: impl Into<WorkloadSpec>,
+    limits: &SimLimits,
+) -> LifetimeReport {
+    run_lifetime_cell(pcm, spec, attack, limits)
+}
+
+/// Runs one cell of a [`workload_matrix`]: [`run_lifetime_cell`] with
+/// the workload axis spelled as a [`twl_workloads::ParsecBenchmark`] (or any workload
+/// spec).
+///
+/// # Panics
+///
+/// Panics if the scheme or workload cannot be built for the device.
 #[must_use]
 pub fn run_workload_cell(
     pcm: &PcmConfig,
     spec: impl Into<SchemeSpec>,
-    bench: ParsecBenchmark,
+    bench: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> LifetimeReport {
-    let spec = spec.into();
-    let calibration = Calibration::for_bandwidth_mbps(bench.write_bandwidth_mbps());
-    let build_span = twl_telemetry::span!("cell.build", spec.to_string());
-    let mut device = PcmDevice::new(pcm);
-    let mut scheme = build_scheme_spec(&spec, &device)
-        .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
-    let mut workload = bench.workload(pcm.pages, pcm.seed);
-    drop(build_span);
-    run_workload(
-        scheme.as_mut(),
-        &mut device,
-        &mut workload,
-        bench.name(),
-        limits,
-        &calibration,
-    )
+    run_lifetime_cell(pcm, spec, bench, limits)
 }
 
-/// Runs one cell of a [`degradation_matrix`]: `scheme` under `attack`
-/// on a fresh fault-tolerant domain provisioned from `pcm` and
-/// `fault_cfg`, followed to spare-pool exhaustion.
+/// Runs one cell of a [`degradation_matrix`]: `scheme` under
+/// `workload` on a fresh fault-tolerant domain provisioned from `pcm`
+/// and `fault_cfg`, followed to spare-pool exhaustion.
 ///
 /// Deterministic: the report depends only on the arguments.
 ///
 /// # Panics
 ///
-/// Panics if the fault config is invalid or the scheme cannot be built
-/// for the data-region geometry.
+/// Panics if the fault config is invalid, the scheme cannot be built
+/// for the data-region geometry, or the workload cannot be built for
+/// the logical space.
 #[must_use]
 pub fn run_degradation_cell(
     pcm: &PcmConfig,
     fault_cfg: &FaultConfig,
     spec: impl Into<SchemeSpec>,
-    attack_kind: AttackKind,
+    workload: impl Into<WorkloadSpec>,
     limits: &SimLimits,
 ) -> DegradationReport {
     let spec = spec.into();
-    let calibration = Calibration::attack_8gbps();
+    let workload = workload.into();
+    let calibration = calibration_for(&workload);
     let build_span = twl_telemetry::span!("cell.build", spec.to_string());
     let mut domain =
         provision(pcm, fault_cfg).unwrap_or_else(|e| panic!("cannot provision domain: {e}"));
     let mut scheme = build_scheme_spec_for_region(&spec, &domain.device, domain.data_pages)
         .unwrap_or_else(|e| panic!("cannot build {spec} for this device: {e}"));
-    let mut attack = Attack::new(attack_kind, scheme.page_count(), pcm.seed);
+    let pages = if workload.addresses_scheme_space() {
+        scheme.page_count()
+    } else {
+        domain.data_pages
+    };
+    let mut stream = workload
+        .build(pages, pcm.seed)
+        .unwrap_or_else(|e| panic!("cannot build workload for this device: {e}"));
     drop(build_span);
     run_degradation_attack(
         scheme.as_mut(),
         &mut domain,
-        &mut attack,
+        &mut stream,
         limits,
         &calibration,
     )
@@ -162,24 +193,49 @@ pub fn run_degradation_cell(
 /// # }
 /// ```
 #[must_use]
-pub fn attack_matrix<S>(
+pub fn attack_matrix<S, W>(
     pcm: &PcmConfig,
     schemes: &[S],
-    attacks: &[AttackKind],
+    attacks: &[W],
     limits: &SimLimits,
 ) -> Vec<LifetimeReport>
 where
     S: Clone + Into<SchemeSpec>,
+    W: Clone + Into<WorkloadSpec>,
 {
-    let cells: Vec<(SchemeSpec, AttackKind)> = schemes
+    lifetime_matrix(pcm, schemes, attacks, limits)
+}
+
+/// Runs every scheme in `schemes` against every workload in
+/// `workloads` on a fresh device drawn from `pcm`, returning reports
+/// in `schemes`-major order. The unified grid underneath
+/// [`attack_matrix`] and [`workload_matrix`]: both axes are specs, so
+/// attacks, PARSEC generators, and captured traces mix freely as cell
+/// coordinates.
+///
+/// # Panics
+///
+/// Panics if a scheme or workload cannot be built for the device.
+#[must_use]
+pub fn lifetime_matrix<S, W>(
+    pcm: &PcmConfig,
+    schemes: &[S],
+    workloads: &[W],
+    limits: &SimLimits,
+) -> Vec<LifetimeReport>
+where
+    S: Clone + Into<SchemeSpec>,
+    W: Clone + Into<WorkloadSpec>,
+{
+    let cells: Vec<(SchemeSpec, WorkloadSpec)> = schemes
         .iter()
         .flat_map(|s| {
             let spec: SchemeSpec = s.clone().into();
-            attacks.iter().map(move |&a| (spec, a))
+            workloads.iter().map(move |w| (spec, w.clone().into()))
         })
         .collect();
-    run_cells(&cells, |&(spec, attack_kind)| {
-        run_attack_cell(pcm, spec, attack_kind, limits)
+    run_cells(&cells, |cell| {
+        run_lifetime_cell(pcm, cell.0, &cell.1, limits)
     })
 }
 
@@ -193,25 +249,26 @@ where
 /// Panics if the fault config is invalid or a scheme cannot be built
 /// for the data-region geometry.
 #[must_use]
-pub fn degradation_matrix<S>(
+pub fn degradation_matrix<S, W>(
     pcm: &PcmConfig,
     fault_cfg: &FaultConfig,
     schemes: &[S],
-    attacks: &[AttackKind],
+    attacks: &[W],
     limits: &SimLimits,
 ) -> Vec<DegradationReport>
 where
     S: Clone + Into<SchemeSpec>,
+    W: Clone + Into<WorkloadSpec>,
 {
-    let cells: Vec<(SchemeSpec, AttackKind)> = schemes
+    let cells: Vec<(SchemeSpec, WorkloadSpec)> = schemes
         .iter()
         .flat_map(|s| {
             let spec: SchemeSpec = s.clone().into();
-            attacks.iter().map(move |&a| (spec, a))
+            attacks.iter().map(move |w| (spec, w.clone().into()))
         })
         .collect();
-    run_cells(&cells, |&(spec, attack_kind)| {
-        run_degradation_cell(pcm, fault_cfg, spec, attack_kind, limits)
+    run_cells(&cells, |cell| {
+        run_degradation_cell(pcm, fault_cfg, cell.0, &cell.1, limits)
     })
 }
 
@@ -223,25 +280,17 @@ where
 ///
 /// Panics if a scheme cannot be built for the device geometry.
 #[must_use]
-pub fn workload_matrix<S>(
+pub fn workload_matrix<S, W>(
     pcm: &PcmConfig,
     schemes: &[S],
-    benchmarks: &[ParsecBenchmark],
+    benchmarks: &[W],
     limits: &SimLimits,
 ) -> Vec<LifetimeReport>
 where
     S: Clone + Into<SchemeSpec>,
+    W: Clone + Into<WorkloadSpec>,
 {
-    let cells: Vec<(SchemeSpec, ParsecBenchmark)> = schemes
-        .iter()
-        .flat_map(|s| {
-            let spec: SchemeSpec = s.clone().into();
-            benchmarks.iter().map(move |&b| (spec, b))
-        })
-        .collect();
-    run_cells(&cells, |&(spec, bench)| {
-        run_workload_cell(pcm, spec, bench, limits)
-    })
+    lifetime_matrix(pcm, schemes, benchmarks, limits)
 }
 
 /// Geometric mean of the reports' lifetimes in years (the paper's
@@ -259,6 +308,8 @@ pub fn gmean_years(reports: &[LifetimeReport]) -> f64 {
 mod tests {
     use super::*;
     use crate::SchemeKind;
+    use twl_attacks::AttackKind;
+    use twl_workloads::ParsecBenchmark;
 
     fn pcm() -> PcmConfig {
         PcmConfig::builder()

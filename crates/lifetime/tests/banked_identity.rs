@@ -4,7 +4,9 @@
 //! on the config, never on scheduling.
 
 use twl_attacks::AttackKind;
-use twl_lifetime::{run_attack_banked_on, run_workload_banked_on, SchemeKind, SimLimits};
+use twl_lifetime::{
+    run_attack_banked_on, run_lifetime_banked_on, run_workload_banked_on, SchemeKind, SimLimits,
+};
 use twl_pcm::PcmConfig;
 use twl_workloads::ParsecBenchmark;
 
@@ -97,4 +99,42 @@ fn bank_count_is_part_of_the_experiment() {
         &limits,
     );
     assert_eq!(four, again);
+}
+
+/// Trace replays hold the same contract: each bank replays the whole
+/// capture against its own domain, and the fan-out is bit-identical
+/// for any worker count.
+#[test]
+fn parallel_trace_replays_match_serial_bit_for_bit() {
+    use twl_pcm::LogicalPageAddr;
+    use twl_workloads::{write_trace, MemCmd, WorkloadSpec};
+
+    let dir = std::env::temp_dir().join(format!("twl-banked-id-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("capture.trace");
+    let mut cmds = Vec::new();
+    for i in 0..50u64 {
+        cmds.push(MemCmd::write(LogicalPageAddr::new(3)));
+        cmds.push(MemCmd::write(LogicalPageAddr::new(i * 7)));
+        cmds.push(MemCmd::read(LogicalPageAddr::new(i)));
+    }
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &cmds).expect("encode trace");
+    std::fs::write(&path, bytes).expect("write trace");
+
+    let workload: WorkloadSpec = format!("TRACE[path={},seed=11]", path.display())
+        .parse()
+        .expect("trace label parses");
+    let pcm = config(256, 4);
+    let limits = SimLimits::default();
+    let serial = run_lifetime_banked_on(1, &pcm, SchemeKind::TwlSwp, &workload, &limits);
+    for workers in [2, 4, 8] {
+        let parallel =
+            run_lifetime_banked_on(workers, &pcm, SchemeKind::TwlSwp, &workload, &limits);
+        assert_eq!(
+            serial, parallel,
+            "trace replay diverged at {workers} workers"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

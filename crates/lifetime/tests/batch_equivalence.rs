@@ -8,8 +8,8 @@ use twl_lifetime::{
     build_scheme_spec, run_attack, run_attack_unbatched, run_workload, run_workload_unbatched,
     Calibration, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
 };
-use twl_pcm::{PcmConfig, PcmDevice};
-use twl_workloads::ParsecBenchmark;
+use twl_pcm::{LogicalPageAddr, PcmConfig, PcmDevice};
+use twl_workloads::{write_trace, MemCmd, ParsecBenchmark, WorkloadSpec};
 
 /// Every scheme the factory can build (64 pages is a power of two, so
 /// Security Refresh is included).
@@ -169,4 +169,68 @@ fn batched_workload_runs_are_bit_identical_too() {
         }
         assert_eq!(runs[0], runs[1], "{kind} / canneal");
     }
+}
+
+#[test]
+fn batched_trace_replays_are_bit_identical_too() {
+    // Captured traces mix long same-page runs (batchable) with
+    // single-write runs and reads the replay must skip; the batched
+    // driver must reproduce the per-write reference loop exactly
+    // through the run-length declarations of `TraceWorkload`.
+    let dir = std::env::temp_dir().join(format!("twl-batch-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("capture.trace");
+    let mut cmds = Vec::new();
+    for i in 0..40u64 {
+        cmds.push(MemCmd::write(LogicalPageAddr::new(7)));
+        cmds.push(MemCmd::write(LogicalPageAddr::new(7)));
+        cmds.push(MemCmd::read(LogicalPageAddr::new(i % 64)));
+        cmds.push(MemCmd::write(LogicalPageAddr::new(i * 3)));
+    }
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &cmds).expect("encode trace");
+    std::fs::write(&path, bytes).expect("write trace");
+
+    let label = format!("TRACE[path={},seed=5]", path.display());
+    let workload: WorkloadSpec = label.parse().expect("trace label parses");
+    for kind in [SchemeKind::Nowl, SchemeKind::Sr, SchemeKind::TwlSwp] {
+        let mut runs = Vec::new();
+        for batched in [true, false] {
+            let pcm = PcmConfig::builder()
+                .pages(64)
+                .mean_endurance(2_000)
+                .seed(9)
+                .build()
+                .expect("valid config");
+            let mut device = PcmDevice::new(&pcm);
+            let mut scheme =
+                build_scheme_spec(&SchemeSpec::new(kind), &device).expect("scheme builds");
+            let mut stream = workload
+                .build(scheme.page_count(), pcm.seed)
+                .expect("trace workload builds");
+            let limits = SimLimits::default();
+            let calibration = Calibration::attack_8gbps();
+            let report = if batched {
+                run_attack(
+                    scheme.as_mut(),
+                    &mut device,
+                    &mut stream,
+                    &limits,
+                    &calibration,
+                )
+            } else {
+                run_attack_unbatched(
+                    scheme.as_mut(),
+                    &mut device,
+                    &mut stream,
+                    &limits,
+                    &calibration,
+                )
+            };
+            runs.push((report, device.wear_counters().to_vec()));
+        }
+        assert_eq!(runs[0], runs[1], "{kind} / trace replay");
+        assert_eq!(runs[0].0.scheme, SchemeSpec::new(kind).label());
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

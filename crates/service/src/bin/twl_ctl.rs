@@ -9,6 +9,7 @@
 //! twl-ctl [connection flags] metrics [--lint]
 //! twl-ctl [connection flags] register-worker WORKER_ADDR
 //! twl-ctl [connection flags] shutdown
+//! twl-ctl run-local [spec flags] [--format table|json]
 //! ```
 //!
 //! Every command works unchanged against a `twl-coordinator` — the
@@ -27,9 +28,10 @@
 //!
 //! Spec flags: `--kind K` (attack_matrix, workload_matrix,
 //! degradation_matrix, lifetime_run), `--pages N`, `--endurance N`,
-//! `--seed N`, `--sigma F`, `--schemes A,B`, `--attacks A,B`,
-//! `--benchmarks A,B`, `--max-writes N`, `--retries N` (submit retries
-//! under backpressure), or `--spec FILE` to submit a raw JSON spec.
+//! `--seed N`, `--sigma F`, `--schemes A,B`, `--workloads A,B` (or its
+//! alias `--attacks`), `--benchmarks A,B`, `--max-writes N`,
+//! `--retries N` (submit retries under backpressure), or `--spec FILE`
+//! to submit a raw JSON spec.
 //!
 //! `--schemes` takes full spec labels (`TWL_swp[ti=8,pair=rnd:7],BWL`),
 //! and a repeatable `--scheme-param k=v` applies one override to every
@@ -40,6 +42,22 @@
 //! twl-ctl submit --schemes "TWL_swp[ti=8],TWL_swp[ti=64]" --attacks scan --wait
 //! ```
 //!
+//! The workload axis is specs too: `--workloads` takes any
+//! `twl_workloads::WorkloadSpec` labels — attack modes, PARSEC
+//! generators, or `TRACE[path=...]` capture replays — and a repeatable
+//! `--workload-param k=v` applies one override to every workload on
+//! the job's active axis:
+//!
+//! ```text
+//! twl-ctl submit --workloads "TRACE[path=capture.trace,seed=3]" --wait
+//! twl-ctl submit --workloads inconsistent --workload-param group=8 --wait
+//! ```
+//!
+//! `run-local` takes the same spec flags but runs every cell in this
+//! process (no daemon) and prints the same result document `submit
+//! --wait` would — the seam CI uses to diff a serviced sweep against a
+//! direct in-process run.
+//!
 //! The default address is `$TWL_SERVICE_ADDR` or `127.0.0.1:7781`.
 //! Progress events go to stderr; results go to stdout — `--format
 //! json` emits the result document verbatim for scripting, the default
@@ -47,7 +65,7 @@
 
 use std::process::ExitCode;
 
-use twl_service::job::{parse_attack, parse_benchmark, JobKind, JobReports, JobSpec};
+use twl_service::job::{encode_result, JobKind, JobReports, JobSpec};
 use twl_service::wire::{JobEvent, JobSnapshot};
 use twl_service::{decode_result, Client, SubmitOutcome};
 use twl_telemetry::json::{int, num, str, Json};
@@ -56,9 +74,10 @@ use twl_lifetime::{
     parse_spec_list, DegradationReport, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
 };
 use twl_pcm::PcmConfig;
+use twl_workloads::{parse_workload_list, WorkloadSpec};
 
 const USAGE: &str = "usage: twl-ctl [--addr HOST:PORT] [--connect-timeout-ms N] [--timeout-ms N] \
-<ping|submit|status|wait|cancel|metrics|register-worker|shutdown> [...]
+<ping|submit|status|wait|cancel|metrics|register-worker|shutdown|run-local> [...]
 run `twl-ctl` with no command for the full flag list";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -82,11 +101,12 @@ struct SpecFlags {
     seed: u64,
     sigma: Option<f64>,
     schemes: Vec<SchemeSpec>,
-    attacks: Vec<twl_attacks::AttackKind>,
-    benchmarks: Vec<twl_workloads::ParsecBenchmark>,
+    attacks: Vec<WorkloadSpec>,
+    benchmarks: Vec<WorkloadSpec>,
     max_writes: Option<u64>,
     spec_file: Option<String>,
     scheme_params: Vec<(String, String)>,
+    workload_params: Vec<(String, String)>,
 }
 
 impl Default for SpecFlags {
@@ -98,20 +118,95 @@ impl Default for SpecFlags {
             seed: 42,
             sigma: None,
             schemes: SchemeKind::FIG6.iter().map(|&k| k.into()).collect(),
-            attacks: twl_attacks::AttackKind::ALL.to_vec(),
-            benchmarks: twl_workloads::ParsecBenchmark::ALL.to_vec(),
+            attacks: twl_attacks::AttackKind::ALL
+                .map(WorkloadSpec::from)
+                .to_vec(),
+            benchmarks: twl_workloads::ParsecBenchmark::ALL
+                .map(WorkloadSpec::from)
+                .to_vec(),
             max_writes: None,
             spec_file: None,
             scheme_params: Vec::new(),
+            workload_params: Vec::new(),
         }
     }
 }
 
 impl SpecFlags {
+    /// Consumes one spec flag (with its value drawn from `value`);
+    /// returns `Ok(false)` if `flag` is not a spec flag.
+    fn consume(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--kind" => self.kind = JobKind::parse(&value("--kind")?)?,
+            "--pages" => {
+                self.pages = value("--pages")?
+                    .parse()
+                    .map_err(|e| format!("bad --pages: {e}"))?;
+            }
+            "--endurance" => {
+                self.endurance = value("--endurance")?
+                    .parse()
+                    .map_err(|e| format!("bad --endurance: {e}"))?;
+            }
+            "--seed" => {
+                self.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--sigma" => {
+                self.sigma = Some(
+                    value("--sigma")?
+                        .parse()
+                        .map_err(|e| format!("bad --sigma: {e}"))?,
+                );
+            }
+            "--schemes" => self.schemes = parse_spec_list(&value("--schemes")?)?,
+            "--scheme-param" => {
+                let kv = value("--scheme-param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--scheme-param `{kv}` is not key=value"))?;
+                self.scheme_params
+                    .push((k.trim().to_owned(), v.trim().to_owned()));
+            }
+            "--workloads" | "--attacks" => {
+                self.attacks = parse_workload_list(&value(flag)?)?;
+            }
+            "--workload-param" => {
+                let kv = value("--workload-param")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--workload-param `{kv}` is not key=value"))?;
+                self.workload_params
+                    .push((k.trim().to_owned(), v.trim().to_owned()));
+            }
+            "--benchmarks" => {
+                self.benchmarks = parse_workload_list(&value("--benchmarks")?)?;
+            }
+            "--max-writes" => {
+                self.max_writes = Some(
+                    value("--max-writes")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-writes: {e}"))?,
+                );
+            }
+            "--spec" => self.spec_file = Some(value("--spec")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
     fn build(mut self) -> Result<JobSpec, String> {
         if let Some(path) = &self.spec_file {
             if !self.scheme_params.is_empty() {
                 return Err("--scheme-param does not combine with --spec (put the overrides in the spec file)".into());
+            }
+            if !self.workload_params.is_empty() {
+                return Err("--workload-param does not combine with --spec (put the overrides in the spec file)".into());
             }
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read spec file {path}: {e}"))?;
@@ -127,6 +222,23 @@ impl SpecFlags {
             }
             scheme.validate().map_err(|e| e.to_string())?;
             *scheme = scheme.canonical();
+        }
+        // Workload overrides apply to the axis the job kind sweeps, so
+        // an attack matrix's defaults-filled `benchmarks` list never
+        // rejects an attack-only key (and vice versa).
+        let axis = if self.kind == JobKind::WorkloadMatrix {
+            &mut self.benchmarks
+        } else {
+            &mut self.attacks
+        };
+        for workload in axis.iter_mut() {
+            for (key, value) in &self.workload_params {
+                workload
+                    .set_param(key, value)
+                    .map_err(|e| format!("bad --workload-param for {}: {e}", workload.kind))?;
+            }
+            workload.validate().map_err(|e| e.to_string())?;
+            *workload = workload.clone().canonical();
         }
         let mut builder = PcmConfig::builder();
         builder
@@ -154,14 +266,6 @@ impl SpecFlags {
         spec.validate()?;
         Ok(spec)
     }
-}
-
-fn split_list(value: &str) -> Vec<&str> {
-    value
-        .split(',')
-        .map(|s| s.trim())
-        .filter(|s| !s.is_empty())
-        .collect()
 }
 
 fn addr_default() -> String {
@@ -403,73 +507,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             while let Some(flag) = iter.next() {
                 let mut value = |name: &str| {
                     iter.next()
-                        .map(String::as_str)
+                        .cloned()
                         .ok_or_else(|| format!("{name} needs a value"))
                 };
                 match flag.as_str() {
-                    "--kind" => flags.kind = JobKind::parse(value("--kind")?)?,
-                    "--pages" => {
-                        flags.pages = value("--pages")?
-                            .parse()
-                            .map_err(|e| format!("bad --pages: {e}"))?;
-                    }
-                    "--endurance" => {
-                        flags.endurance = value("--endurance")?
-                            .parse()
-                            .map_err(|e| format!("bad --endurance: {e}"))?;
-                    }
-                    "--seed" => {
-                        flags.seed = value("--seed")?
-                            .parse()
-                            .map_err(|e| format!("bad --seed: {e}"))?;
-                    }
-                    "--sigma" => {
-                        flags.sigma = Some(
-                            value("--sigma")?
-                                .parse()
-                                .map_err(|e| format!("bad --sigma: {e}"))?,
-                        );
-                    }
-                    "--schemes" => {
-                        flags.schemes = parse_spec_list(value("--schemes")?)?;
-                    }
-                    "--scheme-param" => {
-                        let kv = value("--scheme-param")?;
-                        let (k, v) = kv
-                            .split_once('=')
-                            .ok_or_else(|| format!("--scheme-param `{kv}` is not key=value"))?;
-                        flags
-                            .scheme_params
-                            .push((k.trim().to_owned(), v.trim().to_owned()));
-                    }
-                    "--attacks" => {
-                        flags.attacks = split_list(value("--attacks")?)
-                            .into_iter()
-                            .map(parse_attack)
-                            .collect::<Result<_, _>>()?;
-                    }
-                    "--benchmarks" => {
-                        flags.benchmarks = split_list(value("--benchmarks")?)
-                            .into_iter()
-                            .map(parse_benchmark)
-                            .collect::<Result<_, _>>()?;
-                    }
-                    "--max-writes" => {
-                        flags.max_writes = Some(
-                            value("--max-writes")?
-                                .parse()
-                                .map_err(|e| format!("bad --max-writes: {e}"))?,
-                        );
-                    }
-                    "--spec" => flags.spec_file = Some(value("--spec")?.to_owned()),
                     "--retries" => {
                         retries = value("--retries")?
                             .parse()
                             .map_err(|e| format!("bad --retries: {e}"))?;
                     }
                     "--wait" => wait = true,
-                    "--format" => format = parse_format(value("--format")?)?,
-                    other => return Err(format!("unknown submit flag {other}")),
+                    "--format" => format = parse_format(&value("--format")?)?,
+                    other => {
+                        if !flags.consume(other, &mut value)? {
+                            return Err(format!("unknown submit flag {other}"));
+                        }
+                    }
                 }
             }
             let spec = flags.build()?;
@@ -598,6 +651,39 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut client = connect()?;
             client.shutdown().map_err(|e| e.to_string())?;
             println!("daemon draining");
+            Ok(ExitCode::SUCCESS)
+        }
+        "run-local" => {
+            let mut flags = SpecFlags::default();
+            let mut format = Format::Table;
+            let mut iter = command_args.iter();
+            while let Some(flag) = iter.next() {
+                let mut value = |name: &str| {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--format" => format = parse_format(&value("--format")?)?,
+                    other => {
+                        if !flags.consume(other, &mut value)? {
+                            return Err(format!("unknown run-local flag {other}"));
+                        }
+                    }
+                }
+            }
+            let spec = flags.build()?;
+            let total = spec.cell_count();
+            let reports: Vec<Json> = (0..total)
+                .map(|index| {
+                    let (scheme, workload) = spec.describe_cell(index);
+                    let (report, _) = spec.run_cell(index);
+                    eprintln!("cell {}/{total} done: {scheme} under {workload}", index + 1);
+                    report
+                })
+                .collect();
+            let result = encode_result(spec.kind, reports);
+            print_result(&result, format)?;
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

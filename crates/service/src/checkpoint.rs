@@ -174,7 +174,7 @@ mod tests {
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
             schemes: vec![SchemeKind::Nowl.into()],
-            attacks: vec![AttackKind::Repeat],
+            attacks: vec![AttackKind::Repeat.into()],
             benchmarks: vec![],
             fault: None,
         }

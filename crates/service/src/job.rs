@@ -15,15 +15,14 @@
 
 use std::collections::BTreeMap;
 
-use twl_attacks::AttackKind;
 use twl_faults::{CorrectionPolicy, FaultConfig};
 use twl_lifetime::{
-    run_attack_cell, run_degradation_cell, run_workload_cell, DegradationEnd, DegradationPoint,
-    DegradationReport, LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
+    run_degradation_cell, run_lifetime_cell, DegradationEnd, DegradationPoint, DegradationReport,
+    LifetimeReport, SchemeKind, SchemeSpec, SimLimits,
 };
 use twl_pcm::{PcmConfig, PhysicalPageAddr};
 use twl_telemetry::json::{int, num, str, Json};
-use twl_workloads::ParsecBenchmark;
+use twl_workloads::WorkloadSpec;
 
 /// What a job computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,47 +75,6 @@ pub fn parse_scheme(label: &str) -> Result<SchemeKind, String> {
     label.parse()
 }
 
-/// Parses an attack by its lowercase name.
-///
-/// # Errors
-///
-/// Returns a message listing the valid names.
-pub fn parse_attack(name: &str) -> Result<AttackKind, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "repeat" => Ok(AttackKind::Repeat),
-        "random" => Ok(AttackKind::Random),
-        "scan" => Ok(AttackKind::Scan),
-        "inconsistent" => Ok(AttackKind::Inconsistent),
-        other => Err(format!(
-            "unknown attack `{other}` (expected repeat, random, scan, or inconsistent)"
-        )),
-    }
-}
-
-/// The lowercase wire name of an attack.
-#[must_use]
-pub fn attack_name(kind: AttackKind) -> &'static str {
-    match kind {
-        AttackKind::Repeat => "repeat",
-        AttackKind::Random => "random",
-        AttackKind::Scan => "scan",
-        AttackKind::Inconsistent => "inconsistent",
-        _ => unreachable!("AttackKind is non_exhaustive but these are all current variants"),
-    }
-}
-
-/// Parses a PARSEC benchmark by its paper name (case-insensitive).
-///
-/// # Errors
-///
-/// Returns a message naming the unknown benchmark.
-pub fn parse_benchmark(name: &str) -> Result<ParsecBenchmark, String> {
-    ParsecBenchmark::ALL
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown PARSEC benchmark `{name}`"))
-}
-
 /// A complete, self-contained description of one job.
 ///
 /// Timing always stays at the DAC'17 default — the wire schema carries
@@ -132,10 +90,13 @@ pub struct JobSpec {
     /// Scheme configurations, in matrix-major order. Bare kinds are
     /// default-params specs; parameter studies carry overrides.
     pub schemes: Vec<SchemeSpec>,
-    /// Attacks (attack/degradation matrices and lifetime runs).
-    pub attacks: Vec<AttackKind>,
-    /// Benchmarks (workload matrices).
-    pub benchmarks: Vec<ParsecBenchmark>,
+    /// Workloads for attack/degradation matrices and lifetime runs
+    /// (the wire's `attacks` list) — attack modes by default, but any
+    /// [`WorkloadSpec`] (including `TRACE[path=...]` replays) is a
+    /// valid cell coordinate.
+    pub attacks: Vec<WorkloadSpec>,
+    /// Workloads for workload matrices (the wire's `benchmarks` list).
+    pub benchmarks: Vec<WorkloadSpec>,
     /// Fault model for degradation matrices; `None` means
     /// [`FaultConfig::default`].
     pub fault: Option<FaultConfig>,
@@ -153,6 +114,9 @@ impl JobSpec {
         }
         for scheme in &self.schemes {
             scheme.validate().map_err(|e| e.to_string())?;
+        }
+        for workload in self.attacks.iter().chain(&self.benchmarks) {
+            workload.validate().map_err(|e| e.to_string())?;
         }
         match self.kind {
             JobKind::AttackMatrix | JobKind::DegradationMatrix => {
@@ -183,18 +147,23 @@ impl JobSpec {
         self.fault.clone().unwrap_or_default()
     }
 
-    /// Cells in this job's matrix.
+    /// The workload axis this job's kind sweeps: `benchmarks` for a
+    /// workload matrix, `attacks` for everything else.
     #[must_use]
-    pub fn cell_count(&self) -> usize {
+    pub fn workload_axis(&self) -> &[WorkloadSpec] {
         match self.kind {
-            JobKind::AttackMatrix | JobKind::DegradationMatrix | JobKind::LifetimeRun => {
-                self.schemes.len() * self.attacks.len()
-            }
-            JobKind::WorkloadMatrix => self.schemes.len() * self.benchmarks.len(),
+            JobKind::WorkloadMatrix => &self.benchmarks,
+            _ => &self.attacks,
         }
     }
 
-    /// `(scheme label, workload name)` of cell `index`.
+    /// Cells in this job's matrix.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.schemes.len() * self.workload_axis().len()
+    }
+
+    /// `(scheme label, workload label)` of cell `index`.
     ///
     /// # Panics
     ///
@@ -202,18 +171,10 @@ impl JobSpec {
     #[must_use]
     pub fn describe_cell(&self, index: usize) -> (String, String) {
         assert!(index < self.cell_count(), "cell index out of range");
-        match self.kind {
-            JobKind::AttackMatrix | JobKind::DegradationMatrix | JobKind::LifetimeRun => {
-                let scheme = self.schemes[index / self.attacks.len()];
-                let attack = self.attacks[index % self.attacks.len()];
-                (scheme.label(), attack_name(attack).to_owned())
-            }
-            JobKind::WorkloadMatrix => {
-                let scheme = self.schemes[index / self.benchmarks.len()];
-                let bench = self.benchmarks[index % self.benchmarks.len()];
-                (scheme.label(), bench.name().to_owned())
-            }
-        }
+        let axis = self.workload_axis();
+        let scheme = self.schemes[index / axis.len()];
+        let workload = &axis[index % axis.len()];
+        (scheme.label(), workload.label())
     }
 
     /// Runs cell `index` and returns its encoded report plus the device
@@ -224,40 +185,29 @@ impl JobSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range or the scheme cannot be built
-    /// for the device geometry (the executor catches the latter and
-    /// fails the job instead of the daemon).
+    /// Panics if `index` is out of range or the scheme/workload cannot
+    /// be built for the device geometry (the executor catches the
+    /// latter and fails the job instead of the daemon).
     #[must_use]
     pub fn run_cell(&self, index: usize) -> (Json, u64) {
         assert!(index < self.cell_count(), "cell index out of range");
-        match self.kind {
-            JobKind::AttackMatrix | JobKind::LifetimeRun => {
-                let scheme = self.schemes[index / self.attacks.len()];
-                let attack = self.attacks[index % self.attacks.len()];
-                let report = run_attack_cell(&self.pcm, scheme, attack, &self.limits);
-                let writes = report.device_writes;
-                (lifetime_report_to_json(&report), writes)
-            }
-            JobKind::WorkloadMatrix => {
-                let scheme = self.schemes[index / self.benchmarks.len()];
-                let bench = self.benchmarks[index % self.benchmarks.len()];
-                let report = run_workload_cell(&self.pcm, scheme, bench, &self.limits);
-                let writes = report.device_writes;
-                (lifetime_report_to_json(&report), writes)
-            }
-            JobKind::DegradationMatrix => {
-                let scheme = self.schemes[index / self.attacks.len()];
-                let attack = self.attacks[index % self.attacks.len()];
-                let report = run_degradation_cell(
-                    &self.pcm,
-                    &self.fault_config(),
-                    scheme,
-                    attack,
-                    &self.limits,
-                );
-                let writes = report.device_writes;
-                (degradation_report_to_json(&report), writes)
-            }
+        let axis = self.workload_axis();
+        let scheme = self.schemes[index / axis.len()];
+        let workload = &axis[index % axis.len()];
+        if self.kind == JobKind::DegradationMatrix {
+            let report = run_degradation_cell(
+                &self.pcm,
+                &self.fault_config(),
+                scheme,
+                workload,
+                &self.limits,
+            );
+            let writes = report.device_writes;
+            (degradation_report_to_json(&report), writes)
+        } else {
+            let report = run_lifetime_cell(&self.pcm, scheme, workload, &self.limits);
+            let writes = report.device_writes;
+            (lifetime_report_to_json(&report), writes)
         }
     }
 
@@ -277,11 +227,11 @@ impl JobSpec {
             ),
             (
                 "attacks",
-                Json::Arr(self.attacks.iter().map(|a| str(attack_name(*a))).collect()),
+                Json::Arr(self.attacks.iter().map(WorkloadSpec::to_json).collect()),
             ),
             (
                 "benchmarks",
-                Json::Arr(self.benchmarks.iter().map(|b| str(b.name())).collect()),
+                Json::Arr(self.benchmarks.iter().map(WorkloadSpec::to_json).collect()),
             ),
         ];
         if let Some(fault) = &self.fault {
@@ -311,14 +261,8 @@ impl JobSpec {
             .iter()
             .map(SchemeSpec::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        let attacks = str_list(v, "attacks")?
-            .iter()
-            .map(|s| parse_attack(s))
-            .collect::<Result<Vec<_>, _>>()?;
-        let benchmarks = str_list(v, "benchmarks")?
-            .iter()
-            .map(|s| parse_benchmark(s))
-            .collect::<Result<Vec<_>, _>>()?;
+        let attacks = workload_list(v, "attacks")?;
+        let benchmarks = workload_list(v, "benchmarks")?;
         let fault = match v.get("fault") {
             Some(f) => Some(fault_from_json(f)?),
             None => None,
@@ -618,17 +562,14 @@ pub fn cells_from_json(v: &Json) -> Result<BTreeMap<u64, Json>, String> {
     }
 }
 
-fn str_list<'a>(v: &'a Json, key: &str) -> Result<Vec<&'a str>, String> {
+/// Decodes a workload-spec list: each entry a bare label string
+/// (pre-`WorkloadSpec` frames) or a `{"kind", "params"}` object.
+fn workload_list(v: &Json, key: &str) -> Result<Vec<WorkloadSpec>, String> {
     let arr = v
         .get(key)
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("missing or non-array `{key}`"))?;
-    arr.iter()
-        .map(|item| {
-            item.as_str()
-                .ok_or_else(|| format!("non-string entry in `{key}`"))
-        })
-        .collect()
+    arr.iter().map(WorkloadSpec::from_json).collect()
 }
 
 pub(crate) fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
@@ -669,6 +610,7 @@ pub(crate) fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use twl_attacks::AttackKind;
 
     fn spec() -> JobSpec {
         JobSpec {
@@ -676,7 +618,7 @@ mod tests {
             pcm: PcmConfig::scaled(128, 2_000, 8),
             limits: SimLimits::default(),
             schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-            attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+            attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
             benchmarks: vec![],
             fault: None,
         }
@@ -757,7 +699,7 @@ mod tests {
             kind: JobKind::DegradationMatrix,
             pcm: PcmConfig::scaled(64, 500, 3),
             schemes: vec![SchemeKind::Nowl.into()],
-            attacks: vec![AttackKind::Repeat],
+            attacks: vec![AttackKind::Repeat.into()],
             fault: Some(FaultConfig {
                 cell_groups_per_page: 8,
                 group_sigma_fraction: 0.15,
@@ -785,7 +727,7 @@ mod tests {
         let s = JobSpec {
             pcm: PcmConfig::scaled(64, 500, 3),
             schemes: vec![SchemeKind::Nowl.into()],
-            attacks: vec![AttackKind::Repeat],
+            attacks: vec![AttackKind::Repeat.into()],
             ..spec()
         };
         let (cell, _) = s.run_cell(0);
@@ -803,13 +745,31 @@ mod tests {
     fn label_parsers_reject_unknowns() {
         assert!(parse_scheme("twl_swp").is_ok());
         assert!(parse_scheme("bogus").is_err());
-        assert!(parse_attack("REPEAT").is_ok());
-        assert!(parse_attack("bogus").is_err());
-        assert!(parse_benchmark("Vips").is_ok());
-        assert!(parse_benchmark("bogus").is_err());
+        assert!("REPEAT".parse::<WorkloadSpec>().is_ok());
+        assert!("bogus".parse::<WorkloadSpec>().is_err());
+        assert!("Vips".parse::<WorkloadSpec>().is_ok());
         assert!(parse_policy("ECP6").is_ok());
         assert!(parse_policy("SAFER8").is_ok());
         assert!(parse_policy("RAID5").is_err());
+    }
+
+    #[test]
+    fn trace_and_parameterized_workloads_round_trip_the_spec_codec() {
+        let s = JobSpec {
+            attacks: vec![
+                "inconsistent[group=4,stride=8]".parse().unwrap(),
+                "TRACE[path=/tmp/x.trace,seed=3]".parse().unwrap(),
+            ],
+            ..spec()
+        };
+        let back = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        let text = s.to_json().to_compact();
+        assert!(text.contains("\"kind\":\"TRACE\""));
+        assert!(text.contains("\"path\":\"/tmp/x.trace\""));
+        let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.describe_cell(1).1, "TRACE[path=/tmp/x.trace,seed=3]");
     }
 
     #[test]

@@ -597,7 +597,7 @@ mod tests {
             pcm: PcmConfig::scaled(64, 500, 3),
             limits: SimLimits::default(),
             schemes: vec![SchemeKind::Nowl.into()],
-            attacks: vec![AttackKind::Repeat],
+            attacks: vec![AttackKind::Repeat.into()],
             benchmarks: vec![],
             fault: None,
         }
@@ -684,7 +684,7 @@ mod tests {
     fn progress_appears_once_cells_complete() {
         let queue = JobQueue::new(8, 100);
         let mut two_cells = spec();
-        two_cells.attacks = vec![AttackKind::Repeat, AttackKind::Scan];
+        two_cells.attacks = vec![AttackKind::Repeat.into(), AttackKind::Scan.into()];
         let id = queue.submit(two_cells).unwrap();
 
         // Queued: no progress fields yet (old snapshot shape).

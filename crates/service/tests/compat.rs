@@ -27,6 +27,17 @@ const PR4_SPEC: &str = include_str!("fixtures/pr4_job_spec.json");
 /// by the PR-4 daemon, with the cell reports it actually computed.
 const PR4_CHECKPOINT: &str = include_str!("fixtures/pr4_checkpoint.json");
 
+/// A job-spec document as the PR-9 daemon wrote it, straddling the
+/// refactor boundary: schemes are already SchemeSpec-encoded (one
+/// parameterized object, one bare label) while the workload axes are
+/// still bare strings.
+const PR9_SPEC: &str = include_str!("fixtures/pr9_job_spec.json");
+
+/// A completed checkpoint written by the PR-9 daemon for a 2×2
+/// `TWL_swp[ti=8]`/`NOWL` × repeat/scan matrix, with the reports it
+/// actually computed.
+const PR9_CHECKPOINT: &str = include_str!("fixtures/pr9_checkpoint.json");
+
 /// Progress-carrying frames as the PR-6 daemon writes them: a
 /// `status_ok` snapshot and a `cell_done` event, both with the optional
 /// `writes_done` / `rate_wps` / `eta_ms` fields present.
@@ -52,6 +63,97 @@ fn pr4_job_specs_still_parse_and_reencode_byte_identically() {
     // document round-trips byte-for-byte: a PR-4 client reading a new
     // daemon's output sees exactly the schema it was built against.
     assert_eq!(spec.to_json().to_compact(), PR4_SPEC.trim());
+}
+
+#[test]
+fn pr9_job_specs_still_parse_and_reencode_byte_identically() {
+    use twl_workloads::WorkloadSpec;
+
+    let spec = JobSpec::from_json(&Json::parse(PR9_SPEC.trim()).expect("fixture JSON"))
+        .expect("PR-9 spec decodes");
+    spec.validate().expect("PR-9 spec is still valid");
+
+    // Bare workload strings become default-params specs; the scheme
+    // axis keeps its parameterized entry.
+    assert!(spec.attacks.iter().all(WorkloadSpec::is_default));
+    assert!(spec.benchmarks.iter().all(WorkloadSpec::is_default));
+    assert_eq!(spec.schemes[0].to_string(), "TWL_swp[ti=8]");
+    assert!(!spec.schemes[0].is_default());
+
+    // Default workload specs re-encode as the same bare strings, so
+    // the whole document round-trips byte-for-byte: a PR-9 client
+    // reading a new daemon's output sees exactly the schema it was
+    // built against.
+    assert_eq!(spec.to_json().to_compact(), PR9_SPEC.trim());
+}
+
+#[test]
+fn pr9_checkpoints_reencode_byte_identically_and_match_the_engine() {
+    let cp = Checkpoint::from_json(&Json::parse(PR9_CHECKPOINT.trim()).expect("fixture JSON"))
+        .expect("PR-9 checkpoint decodes");
+    assert_eq!(cp.status, "completed");
+    assert_eq!(
+        cp.completed_cells.keys().copied().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+
+    // The checkpoint document survives the WorkloadSpec re-typing of
+    // its spec byte-for-byte.
+    assert_eq!(cp.to_json().to_compact(), PR9_CHECKPOINT.trim());
+
+    // Every stored cell is byte-identical to what the refactored
+    // engine computes for the same spec and index today, and carries
+    // the canonical workload label.
+    for (&index, stored) in &cp.completed_cells {
+        let (fresh, _writes) = cp.spec.run_cell(usize::try_from(index).unwrap());
+        assert_eq!(
+            fresh.to_compact(),
+            stored.to_compact(),
+            "cell {index} drifted from the PR-9 run"
+        );
+    }
+    let labels: Vec<_> = (0..cp.spec.cell_count())
+        .map(|i| cp.spec.describe_cell(i).1)
+        .collect();
+    assert_eq!(labels, ["repeat", "scan", "repeat", "scan"]);
+}
+
+#[test]
+fn pr9_checkpoint_resumes_through_the_daemon() {
+    let dir = common::temp_dir("compat-pr9");
+    std::fs::write(dir.join("job-1.json"), PR9_CHECKPOINT.trim()).expect("seed checkpoint");
+    let dir_str = dir.to_string_lossy().into_owned();
+
+    let mut daemon = common::Daemon::spawn(
+        &["--workers", "1", "--checkpoint-dir", dir_str.as_str()],
+        &[],
+    );
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let result = client.wait(1, |_| {}).expect("resumed PR-9 job result");
+    let JobReports::Lifetime(resumed) = decode_result(&result).expect("decode result") else {
+        panic!("attack matrix returned non-lifetime reports");
+    };
+
+    // The stored result is served as-is — and it equals a fresh run of
+    // the same matrix under the refactored engine.
+    let cp = Checkpoint::from_json(&Json::parse(PR9_CHECKPOINT.trim()).unwrap()).unwrap();
+    let mut direct = Vec::new();
+    for scheme in &cp.spec.schemes {
+        for attack in &cp.spec.attacks {
+            direct.push(run_attack_cell(
+                &cp.spec.pcm,
+                *scheme,
+                attack,
+                &cp.spec.limits,
+            ));
+        }
+    }
+    assert_eq!(resumed, direct, "PR-9 result differs from a fresh run");
+
+    client.shutdown().expect("shutdown");
+    let status = daemon.wait_exit(Duration::from_secs(60));
+    assert!(status.success(), "daemon exited with {status:?}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -186,7 +288,7 @@ fn pr4_checkpoint_cells_match_the_refactored_engine() {
             direct.push(run_attack_cell(
                 &cp.spec.pcm,
                 *scheme,
-                *attack,
+                attack,
                 &cp.spec.limits,
             ));
         }
@@ -217,7 +319,7 @@ fn pr4_checkpoint_resumes_through_the_daemon() {
             direct.push(run_attack_cell(
                 &cp.spec.pcm,
                 *scheme,
-                *attack,
+                attack,
                 &cp.spec.limits,
             ));
         }
@@ -243,7 +345,7 @@ fn parameterized_spec_survives_kill_and_resume_bit_identically() {
         pcm: PcmConfig::scaled(128, 2_000, 8),
         limits: SimLimits::default(),
         schemes: schemes.clone(),
-        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
         benchmarks: vec![],
         fault: None,
     };
@@ -289,7 +391,7 @@ fn parameterized_spec_survives_kill_and_resume_bit_identically() {
     let mut direct = Vec::new();
     for scheme in &spec.schemes {
         for attack in &spec.attacks {
-            direct.push(run_attack_cell(&spec.pcm, *scheme, *attack, &spec.limits));
+            direct.push(run_attack_cell(&spec.pcm, *scheme, attack, &spec.limits));
         }
     }
     assert_eq!(resumed, direct);

@@ -20,7 +20,7 @@ fn small_spec() -> JobSpec {
         pcm: PcmConfig::scaled(64, 500, 3),
         limits: SimLimits::default(),
         schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
         benchmarks: vec![],
         fault: None,
     }
@@ -30,7 +30,7 @@ fn direct_reports(spec: &JobSpec) -> Vec<twl_lifetime::LifetimeReport> {
     let mut reports = Vec::new();
     for scheme in &spec.schemes {
         for attack in &spec.attacks {
-            reports.push(run_attack_cell(&spec.pcm, *scheme, *attack, &spec.limits));
+            reports.push(run_attack_cell(&spec.pcm, *scheme, attack, &spec.limits));
         }
     }
     reports

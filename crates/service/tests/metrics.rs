@@ -22,7 +22,7 @@ fn small_spec() -> JobSpec {
         pcm: PcmConfig::scaled(64, 500, 3),
         limits: SimLimits::default(),
         schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-        attacks: vec![AttackKind::Repeat],
+        attacks: vec![AttackKind::Repeat.into()],
         benchmarks: vec![],
         fault: None,
     }

@@ -26,7 +26,7 @@ fn killed_daemon_resumes_bit_identical() {
         pcm: PcmConfig::scaled(128, 2_000, 8),
         limits: SimLimits::default(),
         schemes: vec![SchemeKind::Nowl.into(), SchemeKind::TwlSwp.into()],
-        attacks: vec![AttackKind::Repeat, AttackKind::Scan],
+        attacks: vec![AttackKind::Repeat.into(), AttackKind::Scan.into()],
         benchmarks: vec![],
         fault: None,
     };
@@ -84,7 +84,7 @@ fn killed_daemon_resumes_bit_identical() {
     let mut direct = Vec::new();
     for scheme in &spec.schemes {
         for attack in &spec.attacks {
-            direct.push(run_attack_cell(&spec.pcm, *scheme, *attack, &spec.limits));
+            direct.push(run_attack_cell(&spec.pcm, *scheme, attack, &spec.limits));
         }
     }
     assert_eq!(

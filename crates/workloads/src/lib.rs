@@ -20,13 +20,25 @@
 //! [`ParsecBenchmark`] carries the Table 2 ground truth; [`Zipf`] is the
 //! sampler; the `trace` module holds the `MemCmd` stream types and a simple
 //! binary codec for persisting traces.
+//!
+//! The `spec` module is the workload analogue of the scheme side's
+//! `SchemeSpec`: [`WorkloadSpec`] names any write pattern in the
+//! workspace — attack modes, PARSEC generators, or captured block
+//! traces ([`TraceWorkload`]) — as serializable data with canonical
+//! `KIND[k=v,...]` labels, and [`WorkloadSpec::build`] turns one into a
+//! uniform [`BuiltWorkload`] stream the lifetime simulator can drive.
 
 mod parsec;
+mod spec;
 mod synthetic;
 mod trace;
 mod zipf;
 
 pub use parsec::ParsecBenchmark;
+pub use spec::{
+    parse_workload_list, AttackParams, BuiltWorkload, ParsecParams, TraceParams, TraceWorkload,
+    WorkloadError, WorkloadKind, WorkloadParams, WorkloadSpec,
+};
 pub use synthetic::{SyntheticWorkload, WorkloadConfig};
 pub use trace::{read_trace, write_trace, MemCmd, MemOp, TraceWriter};
 pub use zipf::{zipf_alpha_for_hot_share, Zipf};
